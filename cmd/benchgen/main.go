@@ -1,0 +1,85 @@
+// Command benchgen generates workload traces: the benchmark model proxies,
+// the microbenchmarks, and random ablation instances, saved in the JSON
+// trace format so they can be replayed with cmd/telamalloc.
+//
+// Usage:
+//
+//	benchgen -out traces/                      # all model proxies
+//	benchgen -out traces/ -model OpenPose      # one model
+//	benchgen -out traces/ -random 100          # 100 random instances
+//	benchgen -out traces/ -micro               # microbenchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/trace"
+	"telamalloc/internal/workload"
+)
+
+func main() {
+	var (
+		outDir    = flag.String("out", "traces", "output directory")
+		modelName = flag.String("model", "", "generate only this model proxy")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		ratio     = flag.Int("ratio", 110, "memory as percent of contention peak")
+		randomN   = flag.Int("random", 0, "also generate N random ablation instances")
+		micro     = flag.Bool("micro", false, "also generate the Table 1 microbenchmarks")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	save := func(name string, p *buffers.Problem) {
+		path := filepath.Join(*outDir, sanitize(name)+".json")
+		if err := trace.Save(path, trace.FromProblem(p, nil)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %-40s %6d buffers, memory %d\n", path, len(p.Buffers), p.Memory)
+	}
+	sized := func(p *buffers.Problem) *buffers.Problem {
+		peak := buffers.Contention(p).Peak()
+		p.Memory = peak * int64(*ratio) / 100
+		if p.Memory < peak {
+			p.Memory = peak
+		}
+		return p
+	}
+
+	if *modelName != "" {
+		m, err := workload.ByName(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		save(m.Name, sized(m.Generate(*seed)))
+	} else {
+		for _, m := range workload.Models {
+			save(m.Name, sized(m.Generate(*seed)))
+		}
+	}
+	if *micro {
+		save("non-overlapping-1K", workload.NonOverlapping(1000, *seed))
+		save("non-overlapping-10K", workload.NonOverlapping(10000, *seed))
+		save("full-overlap-100", workload.FullOverlap(100, *seed))
+		save("full-overlap-1K", workload.FullOverlap(1000, *seed))
+	}
+	for i := 0; i < *randomN; i++ {
+		p := workload.Random(*seed+int64(i), *ratio)
+		save(fmt.Sprintf("random-%03d", i), p)
+	}
+}
+
+func sanitize(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"telamalloc/internal/trace"
+)
+
+func TestBenchgenGeneratesLoadableTraces(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchgen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-out", dir, "-model", "OpenPose", "-random", "3", "-micro").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchgen: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"openpose.json",
+		"random-000.json",
+		"random-002.json",
+		"non-overlapping-1k.json",
+		"full-overlap-100.json",
+	} {
+		p, err := trace.LoadProblem(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(p.Buffers) == 0 {
+			t.Errorf("%s: empty problem", name)
+		}
+	}
+	if !strings.Contains(string(out), "wrote") {
+		t.Errorf("no progress output: %s", out)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Image Model 1"); got != "image-model-1" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

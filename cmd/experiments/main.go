@@ -1,0 +1,119 @@
+// Command experiments regenerates the paper's tables and figures from the
+// reimplemented system. Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (slow)
+//	experiments -exp table1,fig12        # specific experiments
+//	experiments -exp fig14 -configs 120  # reduced-scale sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"telamalloc/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3,fig12,fig13,fig14,fig15,fig16,fig17,fig18,fig19,longtail,ablation,all")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		configs  = flag.Int("configs", 0, "configurations for the large sweeps (default 1192)")
+		deadline = flag.Duration("solver-deadline", 0, "per-instance exact-solver deadline (default 20s)")
+		maxSteps = flag.Int64("max-steps", 0, "step cap for step-counted experiments (default 500000)")
+		workers  = flag.Int("workers", 0, "worker pool size (default NumCPU)")
+		repeats  = flag.Int("repeats", 0, "timed repetitions per measurement (default 3)")
+	)
+	flag.Parse()
+
+	opts := harness.Options{
+		Seed:           *seed,
+		Configs:        *configs,
+		SolverDeadline: *deadline,
+		MaxSteps:       *maxSteps,
+		Workers:        *workers,
+		Repeats:        *repeats,
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+	out := os.Stdout
+
+	// The ML-dependent experiments share one trained model.
+	var model *harness.TrainedModel
+	needModel := all || want["fig13"] || want["fig15"] || want["fig16"] || want["fig17"] || want["longtail"]
+	if needModel {
+		start := time.Now()
+		fmt.Fprintf(out, "[training backtrack model ...]\n")
+		var err error
+		model, err = harness.TrainBacktrackModel(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "training failed: %v (ML experiments skipped)\n", err)
+			model = nil
+		} else {
+			fmt.Fprintf(out, "[trained on %d samples in %v]\n\n", model.Samples, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if run("table1") {
+		harness.PrintTable1(out, harness.Table1(opts))
+		fmt.Fprintln(out)
+	}
+	if run("table2") {
+		harness.PrintTable2(out, harness.Table2(opts))
+		fmt.Fprintln(out)
+	}
+	if run("fig3") {
+		harness.PrintFig3(out, harness.Fig3(opts))
+		fmt.Fprintln(out)
+	}
+	if run("fig12") {
+		harness.PrintFig12(out, harness.Fig12(opts, false, nil), false)
+		fmt.Fprintln(out)
+	}
+	if run("fig13") {
+		harness.PrintFig12(out, harness.Fig12(opts, true, model), true)
+		fmt.Fprintln(out)
+	}
+	if run("fig14") {
+		harness.PrintFig14(out, harness.Fig14(opts))
+		fmt.Fprintln(out)
+	}
+	if model != nil && run("fig15") {
+		harness.PrintFig15(out, harness.Fig15(opts, model))
+		fmt.Fprintln(out)
+	}
+	if model != nil && run("fig16") {
+		harness.PrintFig16(out, harness.Fig16(opts, model))
+		fmt.Fprintln(out)
+	}
+	if model != nil && run("fig17") {
+		harness.PrintFig17(out, harness.Fig17(opts, model))
+		fmt.Fprintln(out)
+	}
+	if run("fig18") {
+		harness.PrintFig18(out, harness.Fig18(opts))
+		fmt.Fprintln(out)
+	}
+	if run("fig19") {
+		harness.PrintFig19(out, harness.Fig19(opts))
+		fmt.Fprintln(out)
+	}
+	if model != nil && run("longtail") {
+		harness.PrintLongTail(out, harness.LongTail(opts, model))
+		fmt.Fprintln(out)
+	}
+	if run("ablation") {
+		harness.PrintAblation(out, harness.Ablation(opts))
+		fmt.Fprintln(out)
+	}
+}

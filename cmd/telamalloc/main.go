@@ -1,0 +1,161 @@
+// Command telamalloc solves one allocation trace with a chosen allocator
+// and reports the packing and search statistics.
+//
+// Usage:
+//
+//	telamalloc -trace model.json                 # TelaMalloc (default)
+//	telamalloc -trace model.json -alloc greedy   # greedy baseline
+//	telamalloc -trace model.json -alloc ilp      # exact solver
+//	telamalloc -trace model.json -out packed.json
+//	telamalloc -model OpenPose -ratio 110        # built-in workload proxy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/render"
+	"telamalloc/internal/spill"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/trace"
+	"telamalloc/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "JSON trace file to solve")
+		modelName = flag.String("model", "", "built-in workload proxy to solve instead of a trace")
+		seed      = flag.Int64("seed", 1, "seed for -model generation")
+		ratio     = flag.Int("ratio", 110, "memory as percent of contention peak for -model")
+		alloc     = flag.String("alloc", "telamalloc", "allocator: telamalloc, greedy, bestfit, ilp, cp")
+		maxSteps  = flag.Int64("max-steps", 0, "search step cap (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		outPath   = flag.String("out", "", "write the solved trace (with offsets) here")
+		quiet     = flag.Bool("q", false, "only print the summary line")
+		doSpill   = flag.Bool("spill", false, "on failure, plan buffer spills until the problem fits")
+		doRender  = flag.Bool("render", false, "draw the resulting packing as ASCII art")
+	)
+	flag.Parse()
+
+	p, err := loadProblem(*tracePath, *modelName, *seed, *ratio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		ov := buffers.ComputeOverlaps(p)
+		fmt.Printf("problem: %s — %d buffers, %d overlapping pairs, memory %d (peak contention %d)\n",
+			p.Name, len(p.Buffers), ov.PairCount, p.Memory, buffers.Contention(p).Peak())
+	}
+
+	start := time.Now()
+	sol, stats, err := solve(p, *alloc, *maxSteps, *timeout)
+	elapsed := time.Since(start)
+	if err != nil && *doSpill {
+		// Production fallback (§1 of the paper): reduce on-chip pressure by
+		// demoting buffers until the rest fits.
+		plan, serr := spill.Make(spill.Request{
+			Problem:   p,
+			Allocator: core.Allocator{Config: core.Config{MaxSteps: *maxSteps}},
+		})
+		elapsed = time.Since(start)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "%s+spill: %v (%.2f ms)\n", *alloc, serr, float64(elapsed.Microseconds())/1e3)
+			os.Exit(2)
+		}
+		fmt.Printf("%s failed (%v); spilled %d buffers (cost %d) in %d attempts, %.2f ms total\n",
+			*alloc, err, len(plan.Spilled), plan.SpillCost, plan.Attempts,
+			float64(elapsed.Microseconds())/1e3)
+		if *outPath != "" {
+			if err := trace.Save(*outPath, trace.FromProblem(p, plan.Solution)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v (%.2f ms)\n", *alloc, err, float64(elapsed.Microseconds())/1e3)
+		os.Exit(2)
+	}
+	if verr := sol.Validate(p); verr != nil {
+		fmt.Fprintf(os.Stderr, "BUG: allocator returned invalid packing: %v\n", verr)
+		os.Exit(3)
+	}
+	fmt.Printf("%s: solved in %.2f ms, peak usage %d / %d%s\n",
+		*alloc, float64(elapsed.Microseconds())/1e3, sol.PeakUsage(p), p.Memory, stats)
+	if *doRender {
+		fmt.Print(render.Packing(p, sol, render.Options{}))
+	}
+	if *outPath != "" {
+		if err := trace.Save(*outPath, trace.FromProblem(p, sol)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *outPath)
+		}
+	}
+}
+
+func loadProblem(tracePath, modelName string, seed int64, ratio int) (*buffers.Problem, error) {
+	switch {
+	case tracePath != "":
+		return trace.LoadProblem(tracePath)
+	case modelName != "":
+		m, err := workload.ByName(modelName)
+		if err != nil {
+			return nil, fmt.Errorf("%v (available: %v)", err, workload.SortedNames())
+		}
+		p := m.Generate(seed)
+		peak := buffers.Contention(p).Peak()
+		// Sub-peak ratios produce provably infeasible problems — useful
+		// together with -spill, which evicts buffers until the rest fits.
+		p.Memory = peak * int64(ratio) / 100
+		return p, nil
+	default:
+		return nil, fmt.Errorf("one of -trace or -model is required")
+	}
+}
+
+func solve(p *buffers.Problem, alloc string, maxSteps int64, timeout time.Duration) (*buffers.Solution, string, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	switch alloc {
+	case "telamalloc":
+		res := core.Solve(p, core.Config{MaxSteps: maxSteps, Deadline: deadline})
+		info := fmt.Sprintf(" (steps %d, backtracks %d, subproblems %d)",
+			res.Stats.Steps, res.Stats.Backtracks(), res.Subproblems)
+		if res.Status != telamon.Solved {
+			return nil, "", fmt.Errorf("%v%s", res.Status, info)
+		}
+		return res.Solution, info, nil
+	case "greedy":
+		s, err := heuristics.GreedyContention{}.Allocate(p)
+		return s, "", err
+	case "bestfit":
+		s, err := heuristics.BestFit{}.Allocate(p)
+		return s, "", err
+	case "ilp", "cp":
+		rule := ilp.BranchMostConstraining
+		if alloc == "cp" {
+			rule = ilp.BranchFirstUnresolved
+		}
+		res := ilp.Solve(p, nil, ilp.Options{MaxSteps: maxSteps, Deadline: deadline, Rule: rule})
+		info := fmt.Sprintf(" (nodes %d, conflicts %d)", res.Steps, res.Conflicts)
+		if res.Status != ilp.Solved {
+			return nil, "", fmt.Errorf("%v%s", res.Status, info)
+		}
+		return res.Solution, info, nil
+	default:
+		return nil, "", fmt.Errorf("unknown allocator %q", alloc)
+	}
+}

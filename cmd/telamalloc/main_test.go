@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the CLI binary one time for all tests in this package.
+var (
+	buildMu   sync.Mutex
+	builtPath string
+	buildErr  error
+)
+
+func cliPath(t *testing.T) string {
+	t.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if builtPath == "" && buildErr == nil {
+		dir, err := os.MkdirTemp("", "telamalloc-cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		builtPath = filepath.Join(dir, "telamalloc")
+		out, err := exec.Command("go", "build", "-o", builtPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Fatalf("build failed: %v\n%s", err, out)
+		}
+	}
+	if buildErr != nil {
+		t.Fatalf("build previously failed: %v", buildErr)
+	}
+	return builtPath
+}
+
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(cliPath(t), args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLISolveModel(t *testing.T) {
+	out, err := run(t, "-model", "FPN Model", "-ratio", "120", "-max-steps", "200000")
+	if err != nil {
+		t.Fatalf("CLI failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "solved in") {
+		t.Errorf("missing summary: %s", out)
+	}
+	if !strings.Contains(out, "overlapping pairs") {
+		t.Errorf("missing problem header: %s", out)
+	}
+}
+
+func TestCLITraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	out, err := run(t, "-model", "Segmentation", "-ratio", "130", "-out", tracePath, "-q", "-max-steps", "200000")
+	if err != nil {
+		t.Fatalf("solve+save failed: %v\n%s", err, out)
+	}
+	out, err = run(t, "-trace", tracePath, "-alloc", "greedy", "-q")
+	if err != nil {
+		t.Fatalf("greedy on saved trace failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "greedy: solved") {
+		t.Errorf("unexpected output: %s", out)
+	}
+}
+
+func TestCLIAllAllocators(t *testing.T) {
+	for _, alloc := range []string{"telamalloc", "greedy", "bestfit", "ilp", "cp"} {
+		out, err := run(t, "-model", "Saliency Model", "-ratio", "150", "-alloc", alloc, "-q",
+			"-max-steps", "300000", "-timeout", "20s")
+		if err != nil {
+			t.Errorf("%s failed: %v\n%s", alloc, err, out)
+		}
+	}
+}
+
+func TestCLISpillFallback(t *testing.T) {
+	out, err := run(t, "-model", "Segmentation", "-ratio", "80", "-spill", "-q", "-max-steps", "100000")
+	if err != nil {
+		t.Fatalf("spill path failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "spilled") {
+		t.Errorf("spill summary missing: %s", out)
+	}
+}
+
+func TestCLIRender(t *testing.T) {
+	out, err := run(t, "-model", "FPN Model", "-ratio", "130", "-render", "-q", "-max-steps", "200000")
+	if err != nil {
+		t.Fatalf("render failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "memory") {
+		t.Errorf("render output missing: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if out, err := run(t); err == nil {
+		t.Errorf("no-args run succeeded: %s", out)
+	}
+	if out, err := run(t, "-model", "No Such Model"); err == nil {
+		t.Errorf("unknown model accepted: %s", out)
+	} else if !strings.Contains(out, "available") {
+		t.Errorf("unknown-model error should list models: %s", out)
+	}
+	if out, err := run(t, "-trace", "/nonexistent.json"); err == nil {
+		t.Errorf("missing trace accepted: %s", out)
+	}
+	// Infeasible without -spill exits non-zero.
+	if out, err := run(t, "-model", "Segmentation", "-ratio", "80", "-q", "-max-steps", "50000"); err == nil {
+		t.Errorf("infeasible problem reported success: %s", out)
+	}
+}

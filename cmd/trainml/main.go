@@ -1,0 +1,79 @@
+// Command trainml collects imitation-learning data and trains the learned
+// backtracking model of §6, saving it as JSON so it can be "baked into"
+// deployments (loaded via telamalloc.LoadBacktrackModel).
+//
+// Usage:
+//
+//	trainml -out model.json                  # train on the benchmark proxies
+//	trainml -out model.json -random 32       # add 32 random tight instances
+//	trainml -out model.json -report          # also print feature importance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/mlpolicy"
+	"telamalloc/internal/workload"
+)
+
+func main() {
+	var (
+		outPath     = flag.String("out", "model.json", "where to write the trained model")
+		seed        = flag.Int64("seed", 1, "training seed")
+		randomN     = flag.Int("random", 24, "extra random tight training instances")
+		searchSteps = flag.Int64("search-steps", 100000, "step cap per collection search")
+		oracleSteps = flag.Int64("oracle-steps", 20000, "node cap per ILP oracle probe")
+		report      = flag.Bool("report", false, "print RMSE and feature importance")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var problems []*buffers.Problem
+	for _, m := range workload.Models {
+		p := m.Generate(*seed)
+		peak := buffers.Contention(p).Peak()
+		p.Memory = peak // ratios applied by the collector
+		problems = append(problems, p)
+	}
+	for i := 0; i < *randomN; i++ {
+		problems = append(problems, workload.Random(*seed+1000+int64(i), 101))
+	}
+	fmt.Printf("collecting from %d problems x 4 memory ratios ...\n", len(problems))
+	ds := mlpolicy.CollectDataset(problems, []int{100, 103, 107, 112}, *seed, *searchSteps, ilp.Options{MaxSteps: *oracleSteps})
+	if len(ds.X) == 0 {
+		fmt.Fprintln(os.Stderr, "no training samples collected (searches solved without major backtracks)")
+		os.Exit(1)
+	}
+	fmt.Printf("collected %d samples in %v\n", len(ds.X), time.Since(start).Round(time.Millisecond))
+
+	forest, err := mlpolicy.TrainModel(ds, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := forest.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d trees)\n", *outPath, len(forest.Trees))
+
+	if *report {
+		fmt.Printf("training RMSE: %.3f\n", forest.RMSE(ds))
+		fmt.Println("feature importance (mean RMSE increase):")
+		for i, v := range gbt.PermutationImportance(forest, ds, *seed) {
+			fmt.Printf("  %-22s %8.4f\n", mlpolicy.FeatureNames[i], v)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package telamalloc_test
+
+import (
+	"fmt"
+
+	"telamalloc"
+)
+
+// ExampleAllocate packs three overlapping buffers into a 12-byte scratchpad.
+func ExampleAllocate() {
+	problem := telamalloc.Problem{
+		Memory: 12,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 10, Size: 4},
+			{Start: 0, End: 10, Size: 4},
+			{Start: 0, End: 10, Size: 4},
+		},
+	}
+	sol, _, err := telamalloc.Allocate(problem)
+	if err != nil {
+		fmt.Println("failed:", err)
+		return
+	}
+	fmt.Println("valid:", sol.Validate(problem) == nil)
+	fmt.Println("peak:", sol.PeakUsage(problem))
+	// Output:
+	// valid: true
+	// peak: 12
+}
+
+// ExampleAllocateGreedy shows the fast baseline that production compilers
+// try before falling back to the full search.
+func ExampleAllocateGreedy() {
+	problem := telamalloc.Problem{
+		Memory: 64,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 5, Size: 16},
+			{Start: 5, End: 9, Size: 16}, // disjoint in time: reuses the space
+		},
+	}
+	sol, err := telamalloc.AllocateGreedy(problem)
+	if err != nil {
+		fmt.Println("failed:", err)
+		return
+	}
+	fmt.Println("offsets:", sol.Offsets[0], sol.Offsets[1])
+	// Output:
+	// offsets: 0 0
+}
+
+// ExampleMinMemoryLowerBound computes the contention peak — the
+// unconditional lower bound on any packing.
+func ExampleMinMemoryLowerBound() {
+	problem := telamalloc.Problem{
+		Memory: 1 << 20,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 4, Size: 100},
+			{Start: 2, End: 6, Size: 50}, // overlaps the first in [2,4)
+			{Start: 4, End: 8, Size: 60},
+		},
+	}
+	fmt.Println(telamalloc.MinMemoryLowerBound(problem))
+	// Output:
+	// 150
+}
+
+// ExampleSolveExact demonstrates the exact solver proving infeasibility.
+func ExampleSolveExact() {
+	problem := telamalloc.Problem{
+		Memory: 7,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 5, Size: 4},
+			{Start: 0, End: 5, Size: 4},
+		},
+	}
+	_, err := telamalloc.SolveExact(problem, 0, 0)
+	fmt.Println(err)
+	// Output:
+	// telamalloc: no feasible packing found
+}

@@ -1,0 +1,103 @@
+// Quickstart: allocate a handful of tensor buffers into a tiny scratchpad
+// with the public telamalloc API and print the resulting layout.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"telamalloc"
+)
+
+func main() {
+	// The running example of the paper (Figure 1): ten buffers with fixed
+	// live ranges that must share a 10-byte scratchpad. The placement of
+	// the block spanning t=2..9 decides whether everything fits.
+	problem := telamalloc.Problem{
+		Name:   "figure-1",
+		Memory: 10,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 12, Size: 3},  // (1)
+			{Start: 0, End: 7, Size: 3},   // (2)
+			{Start: 3, End: 7, Size: 2},   // (3)
+			{Start: 7, End: 12, Size: 3},  // (4)
+			{Start: 12, End: 16, Size: 5}, // (5)
+			{Start: 12, End: 16, Size: 3}, // (6)
+			{Start: 2, End: 9, Size: 2},   // (7) the pivotal block
+			{Start: 0, End: 3, Size: 2},   // (8)
+			{Start: 16, End: 20, Size: 6}, // (9)
+			{Start: 16, End: 20, Size: 2}, // (10)
+		},
+	}
+
+	// The greedy heuristic is tried first in production; on this instance
+	// it may or may not fit, which is exactly why TelaMalloc exists.
+	if _, err := telamalloc.AllocateGreedy(problem); err != nil {
+		fmt.Println("greedy heuristic failed (expected on tight instances):", err)
+	} else {
+		fmt.Println("greedy heuristic solved it — TelaMalloc is the fallback for when it can't")
+	}
+
+	sol, stats, err := telamalloc.Allocate(problem)
+	if err != nil {
+		log.Fatalf("allocation failed: %v", err)
+	}
+	fmt.Printf("TelaMalloc solved it in %d steps (%d backtracks)\n\n",
+		stats.Steps, stats.MinorBacktracks+stats.MajorBacktracks)
+
+	fmt.Println("buffer  live-range  size  -> address")
+	for i, b := range problem.Buffers {
+		fmt.Printf("  (%2d)   [%2d,%2d)    %2d   -> %d\n", i+1, b.Start, b.End, b.Size, sol.Offsets[i])
+	}
+	fmt.Printf("\npeak usage: %d / %d bytes", sol.PeakUsage(problem), problem.Memory)
+	fmt.Printf(" (lower bound %d)\n\n", telamalloc.MinMemoryLowerBound(problem))
+
+	// Render the packing: rows are addresses (top = high), columns time.
+	fmt.Println(render(problem, sol))
+}
+
+// render draws the 2D packing as ASCII art: one character per buffer.
+func render(p telamalloc.Problem, s telamalloc.Solution) string {
+	var horizon int64
+	for _, b := range p.Buffers {
+		if b.End > horizon {
+			horizon = b.End
+		}
+	}
+	grid := make([][]byte, p.Memory)
+	for r := range grid {
+		grid[r] = make([]byte, horizon)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	glyphs := "0123456789abcdefghijklmnopqrstuvwxyz"
+	for i, b := range p.Buffers {
+		g := glyphs[i%len(glyphs)]
+		for r := s.Offsets[i]; r < s.Offsets[i]+b.Size; r++ {
+			for c := b.Start; c < b.End; c++ {
+				grid[r][c] = g
+			}
+		}
+	}
+	out := ""
+	for r := int(p.Memory) - 1; r >= 0; r-- {
+		out += fmt.Sprintf("addr %2d |%s|\n", r, grid[r])
+	}
+	out += fmt.Sprintf("         %s\n", ruler(int(horizon)))
+	return out
+}
+
+func ruler(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		if i%5 == 0 {
+			out[i] = '+'
+		} else {
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,3 @@
+module telamalloc
+
+go 1.22

@@ -1,0 +1,76 @@
+package buffers
+
+import "sort"
+
+// Overlaps is the static temporal-overlap adjacency of a problem: for each
+// buffer, the IDs of all other buffers whose live ranges intersect its own.
+// The paper calls these pairs OverlappingBuffers; they determine which pairs
+// need spatial-disjointness constraints. The structure is computed once per
+// problem and shared by the CP engine, the ILP solver and all heuristics.
+type Overlaps struct {
+	// Neighbors[i] lists, in increasing ID order, the buffers that overlap
+	// buffer i in time.
+	Neighbors [][]int
+	// PairCount is the number of unordered overlapping pairs.
+	PairCount int
+}
+
+// ComputeOverlaps builds the overlap adjacency with a sweep line. The output
+// size is Θ(number of overlapping pairs), which is quadratic for fully
+// overlapping inputs — the same scaling limit the paper reports in Table 1.
+func ComputeOverlaps(p *Problem) *Overlaps {
+	n := len(p.Buffers)
+	ov := &Overlaps{Neighbors: make([][]int, n)}
+	if n == 0 {
+		return ov
+	}
+	type event struct {
+		t     int64
+		add   bool
+		index int
+	}
+	events := make([]event, 0, 2*n)
+	for i, b := range p.Buffers {
+		events = append(events, event{b.Start, true, i}, event{b.End, false, i})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return !events[a].add && events[b].add // process ends first (End exclusive)
+	})
+	live := make([]int, 0, n)
+	for _, ev := range events {
+		if !ev.add {
+			for k, id := range live {
+				if id == ev.index {
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+					break
+				}
+			}
+			continue
+		}
+		for _, id := range live {
+			ov.Neighbors[id] = append(ov.Neighbors[id], ev.index)
+			ov.Neighbors[ev.index] = append(ov.Neighbors[ev.index], id)
+			ov.PairCount++
+		}
+		live = append(live, ev.index)
+	}
+	for i := range ov.Neighbors {
+		sort.Ints(ov.Neighbors[i])
+	}
+	return ov
+}
+
+// Overlapping reports whether buffers a and b overlap in time, using the
+// precomputed adjacency. O(log deg).
+func (ov *Overlaps) Overlapping(a, b int) bool {
+	ns := ov.Neighbors[a]
+	i := sort.SearchInts(ns, b)
+	return i < len(ns) && ns[i] == b
+}
+
+// Degree returns the number of temporal neighbours of buffer i.
+func (ov *Overlaps) Degree(i int) int { return len(ov.Neighbors[i]) }

@@ -1,0 +1,93 @@
+package buffers
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeOverlapsSmall(t *testing.T) {
+	p := &Problem{Buffers: []Buffer{
+		{Start: 0, End: 5, Size: 1},
+		{Start: 3, End: 8, Size: 1},
+		{Start: 5, End: 9, Size: 1}, // touches #0 only at t=5 (exclusive end): no overlap
+		{Start: 20, End: 30, Size: 1},
+	}, Memory: 10}
+	p.Normalize()
+	ov := ComputeOverlaps(p)
+	wantPairs := [][2]int{{0, 1}, {1, 2}}
+	if ov.PairCount != len(wantPairs) {
+		t.Fatalf("PairCount = %d, want %d (neighbors: %v)", ov.PairCount, len(wantPairs), ov.Neighbors)
+	}
+	for _, w := range wantPairs {
+		if !ov.Overlapping(w[0], w[1]) || !ov.Overlapping(w[1], w[0]) {
+			t.Errorf("pair %v missing", w)
+		}
+	}
+	if ov.Overlapping(0, 2) {
+		t.Error("touching buffers 0 and 2 reported as overlapping")
+	}
+	if ov.Degree(3) != 0 {
+		t.Errorf("isolated buffer has degree %d", ov.Degree(3))
+	}
+}
+
+func TestComputeOverlapsFullOverlap(t *testing.T) {
+	const n = 40
+	p := &Problem{Memory: 1 << 30}
+	for i := 0; i < n; i++ {
+		p.Buffers = append(p.Buffers, Buffer{Start: 0, End: 10, Size: 1})
+	}
+	p.Normalize()
+	ov := ComputeOverlaps(p)
+	if want := n * (n - 1) / 2; ov.PairCount != want {
+		t.Errorf("PairCount = %d, want %d", ov.PairCount, want)
+	}
+	for i := 0; i < n; i++ {
+		if ov.Degree(i) != n-1 {
+			t.Errorf("Degree(%d) = %d, want %d", i, ov.Degree(i), n-1)
+		}
+	}
+}
+
+func TestComputeOverlapsNonOverlapping(t *testing.T) {
+	p := &Problem{Memory: 1 << 30}
+	for i := int64(0); i < 50; i++ {
+		p.Buffers = append(p.Buffers, Buffer{Start: i * 10, End: i*10 + 10, Size: 1})
+	}
+	p.Normalize()
+	ov := ComputeOverlaps(p)
+	if ov.PairCount != 0 {
+		t.Errorf("PairCount = %d, want 0", ov.PairCount)
+	}
+}
+
+func TestComputeOverlapsMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 2+rng.Intn(40))
+		ov := ComputeOverlaps(p)
+		for i := range p.Buffers {
+			for j := range p.Buffers {
+				if i == j {
+					continue
+				}
+				want := p.Buffers[i].OverlapsInTime(p.Buffers[j])
+				if got := ov.Overlapping(i, j); got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapsEmptyProblem(t *testing.T) {
+	ov := ComputeOverlaps(&Problem{})
+	if ov.PairCount != 0 || len(ov.Neighbors) != 0 {
+		t.Errorf("empty problem produced overlaps: %+v", ov)
+	}
+}

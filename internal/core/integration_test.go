@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+// TestAllModelsAllocateAtBenchmarkRatio is the end-to-end check behind
+// Figure 12: at 110% of the contention peak, TelaMalloc must solve every
+// benchmark model proxy with a valid packing, and whatever the baselines
+// return must be valid too.
+func TestAllModelsAllocateAtBenchmarkRatio(t *testing.T) {
+	for _, m := range workload.Models {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			p := m.Generate(1)
+			peak := buffers.Contention(p).Peak()
+			p.Memory = peak * 110 / 100
+
+			res := Solve(p, Config{MaxSteps: 500000})
+			if res.Status != telamon.Solved {
+				t.Fatalf("TelaMalloc failed: %+v", res.Stats)
+			}
+			if err := res.Solution.Validate(p); err != nil {
+				t.Fatalf("invalid TelaMalloc packing: %v", err)
+			}
+			if got := res.Solution.PeakUsage(p); got > p.Memory {
+				t.Fatalf("peak %d exceeds limit %d", got, p.Memory)
+			}
+
+			for _, alloc := range []heuristics.Allocator{
+				heuristics.GreedyContention{},
+				heuristics.BestFit{},
+			} {
+				sol, err := alloc.Allocate(p)
+				if err != nil {
+					continue // baselines may legitimately fail at 110%
+				}
+				if verr := sol.Validate(p); verr != nil {
+					t.Errorf("%s returned invalid packing: %v", alloc.Name(), verr)
+				}
+			}
+		})
+	}
+}
+
+// TestModelsAcrossSeedsAndRatios sweeps seeds and memory ratios: TelaMalloc
+// results must always be valid, and looser memory must never turn a
+// solvable instance unsolvable.
+func TestModelsAcrossSeedsAndRatios(t *testing.T) {
+	models := []string{"FPN Model", "OpenPose", "SRGAN"}
+	for _, name := range models {
+		m, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			p := m.Generate(seed)
+			peak := buffers.Contention(p).Peak()
+			solvedAt := -1
+			for _, ratio := range []int64{105, 115, 140} {
+				q := p.Clone()
+				q.Memory = peak * ratio / 100
+				res := Solve(q, Config{MaxSteps: 300000})
+				if res.Status == telamon.Solved {
+					if err := res.Solution.Validate(q); err != nil {
+						t.Fatalf("%s seed %d ratio %d: %v", name, seed, ratio, err)
+					}
+					if solvedAt < 0 {
+						solvedAt = int(ratio)
+					}
+				} else if solvedAt >= 0 {
+					t.Errorf("%s seed %d: solved at %d%% but failed at looser %d%%",
+						name, seed, solvedAt, ratio)
+				}
+			}
+			if solvedAt < 0 {
+				t.Errorf("%s seed %d: unsolved even at 140%% of peak", name, seed)
+			}
+		}
+	}
+}
+
+// TestStrictModeMatchesDefaultOnModels verifies the paper-faithful strict
+// candidate mode still handles the benchmark models at 110%.
+func TestStrictModeMatchesDefaultOnModels(t *testing.T) {
+	for _, m := range workload.Models {
+		p := m.Generate(1)
+		peak := buffers.Contention(p).Peak()
+		p.Memory = peak * 110 / 100
+		res := Solve(p, Config{MaxSteps: 500000, NoFallbackCandidates: true})
+		if res.Status != telamon.Solved {
+			t.Errorf("%s: strict mode failed: %+v", m.Name, res.Stats)
+			continue
+		}
+		if err := res.Solution.Validate(p); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/phases"
+	"telamalloc/internal/telamon"
+)
+
+// telaPolicy is TelaMalloc's domain policy for the Telamon framework.
+type telaPolicy struct {
+	cfg    Config
+	groups *phases.Assignment // nil when phases are disabled
+}
+
+func newPolicy(p *buffers.Problem, cfg Config) *telaPolicy {
+	tp := &telaPolicy{cfg: cfg}
+	if !cfg.DisablePhases {
+		tp.groups = phases.Group(p)
+	}
+	return tp
+}
+
+// Candidates implements telamon.Policy: at each decision point, propose the
+// longest-lived, largest and largest-area unplaced blocks (§5.1), preferring
+// the phase of the most recently placed block and falling back to the other
+// phases in contention order (§5.3), with all remaining unplaced blocks as a
+// final fallback.
+func (tp *telaPolicy) Candidates(st *telamon.State) []int {
+	if tp.groups == nil {
+		out := topPicks(st, nil)
+		if !tp.expensive(st) {
+			return out
+		}
+		seen := make(map[int]bool, len(out))
+		for _, id := range out {
+			seen[id] = true
+		}
+		return appendRemaining(st, out, seen)
+	}
+	cur := tp.currentPhase(st)
+	out := make([]int, 0, 3*len(tp.groups.Phases))
+	seen := make(map[int]bool, 8)
+	appendPicks := func(ph *phases.Phase) {
+		for _, c := range topPicks(st, ph.Buffers) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	if cur >= 0 {
+		appendPicks(&tp.groups.Phases[cur])
+	}
+	for i := range tp.groups.Phases {
+		if i != cur {
+			appendPicks(&tp.groups.Phases[i])
+		}
+	}
+	if tp.expensive(st) {
+		// Last-resort fallback (§6.5 describes the same idea for the ML
+		// path): after the heuristic picks, try the remaining unplaced
+		// buffers, largest area first, before declaring the decision point
+		// exhausted. The paper's strict configuration (3 candidates per
+		// decision point, more major backtracks) is available via
+		// Config.NoFallbackCandidates; a learned step gate (§8.3) can make
+		// the call per decision point via Config.Gate.
+		out = appendRemaining(st, out, seen)
+	}
+	return out
+}
+
+// expensive reports whether this decision point should receive the full
+// fallback candidate set.
+func (tp *telaPolicy) expensive(st *telamon.State) bool {
+	if tp.cfg.Gate != nil {
+		return tp.cfg.Gate.Expensive(st)
+	}
+	return !tp.cfg.NoFallbackCandidates
+}
+
+// appendRemaining adds every unplaced buffer not already in out, ordered by
+// decreasing area.
+func appendRemaining(st *telamon.State, out []int, seen map[int]bool) []int {
+	var rest []int
+	for id := range st.Prob.Buffers {
+		if !st.Model.Placed(id) && !seen[id] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		ba, bb := st.Prob.Buffers[rest[a]], st.Prob.Buffers[rest[b]]
+		if aa, ab := ba.Area(), bb.Area(); aa != ab {
+			return aa > ab
+		}
+		return rest[a] < rest[b]
+	})
+	return append(out, rest...)
+}
+
+// currentPhase returns the phase of the most recently committed placement,
+// or -1 when nothing is placed yet.
+func (tp *telaPolicy) currentPhase(st *telamon.State) int {
+	for i := len(st.Stack) - 1; i >= 0; i-- {
+		if b := st.Stack[i].Placed; b >= 0 {
+			return tp.groups.PhaseOf[b]
+		}
+	}
+	return -1
+}
+
+// topPicks returns up to three distinct unplaced buffers from the given ID
+// set (nil = all buffers): the longest-lived, the largest, and the one with
+// the largest area, in that order. The ordering mirrors §5.1: the longest
+// allocation is tried first "since it likely affects the most constraints".
+func topPicks(st *telamon.State, ids []int) []int {
+	bestLife, bestSize, bestArea := -1, -1, -1
+	var lifeV, sizeV int64 = -1, -1
+	areaV := -1.0
+	consider := func(id int) {
+		if st.Model.Placed(id) {
+			return
+		}
+		b := st.Prob.Buffers[id]
+		if l := b.Lifetime(); l > lifeV {
+			lifeV, bestLife = l, id
+		}
+		if b.Size > sizeV {
+			sizeV, bestSize = b.Size, id
+		}
+		if a := b.Area(); a > areaV {
+			areaV, bestArea = a, id
+		}
+	}
+	if ids == nil {
+		for id := range st.Prob.Buffers {
+			consider(id)
+		}
+	} else {
+		for _, id := range ids {
+			consider(id)
+		}
+	}
+	var out []int
+	for _, id := range [3]int{bestLife, bestSize, bestArea} {
+		if id < 0 {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Placement implements telamon.Policy.
+func (tp *telaPolicy) Placement(st *telamon.State, buf int) (int64, bool) {
+	if tp.cfg.Placement == SkylineTop {
+		return skylineTop(st, buf)
+	}
+	return st.Model.LowestFeasible(buf)
+}
+
+// skylineTop places buf on top of its placed temporal neighbours —
+// Figure 8a's simple strategy, kept for ablation.
+func skylineTop(st *telamon.State, buf int) (int64, bool) {
+	var top int64
+	for _, nb := range st.Model.Overlaps().Neighbors[buf] {
+		if st.Model.Placed(nb) {
+			if end := st.Model.Position(nb) + st.Prob.Buffers[nb].Size; end > top {
+				top = end
+			}
+		}
+	}
+	b := st.Prob.Buffers[buf]
+	if top < st.Model.MinPos(buf) {
+		top = st.Model.MinPos(buf)
+	}
+	pos := b.AlignUp(top)
+	if pos > st.Model.MaxPos(buf) {
+		return 0, false
+	}
+	return pos, true
+}
+
+// BacktrackTarget implements telamon.Policy: delegate to the learned
+// chooser when configured, otherwise use the framework default.
+func (tp *telaPolicy) BacktrackTarget(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	if tp.cfg.Chooser != nil {
+		if t, ok := tp.cfg.Chooser.Choose(st, dp); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+var _ telamon.Policy = (*telaPolicy)(nil)

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+// TestSolveRateComparison documents the trade-off behind
+// Config.NoFallbackCandidates: the production fallback (try every unplaced
+// buffer before a major backtrack) should solve at least as many tight
+// instances as the paper's strict three-candidate mode, and the strict mode
+// must stay competitive (it is what the ML experiments build on).
+func TestSolveRateComparison(t *testing.T) {
+	withFB, withoutFB := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		p := workload.Random(seed, 101)
+		if Solve(p, Config{MaxSteps: 60000}).Status == telamon.Solved {
+			withFB++
+		}
+		if Solve(p, Config{MaxSteps: 60000, NoFallbackCandidates: true}).Status == telamon.Solved {
+			withoutFB++
+		}
+	}
+	t.Logf("solved with fallback: %d/40, without: %d/40", withFB, withoutFB)
+	if withoutFB < withFB-8 {
+		t.Errorf("strict candidate mode lost too many instances: %d vs %d", withoutFB, withFB)
+	}
+	if withFB < withoutFB {
+		t.Errorf("fallback candidates made things worse: %d vs %d", withFB, withoutFB)
+	}
+}

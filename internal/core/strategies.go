@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/telamon"
+)
+
+// Strategy identifies one of the simple block-selection strategies the
+// paper compares against in §7.2 / Figure 14. Each replaces TelaMalloc's
+// block selection with a single rule; placement stays "lowest possible
+// position" and backtracking reverts to plain last-valid-point hops.
+type Strategy int
+
+const (
+	// StrategyMaxSize selects the largest unplaced block (corresponds to
+	// Lee & Pisarchyk's greedy-by-size).
+	StrategyMaxSize Strategy = iota
+	// StrategyMaxArea selects the block with the largest size × lifetime.
+	StrategyMaxArea
+	// StrategyMaxLifetime selects the longest-lived block.
+	StrategyMaxLifetime
+	// StrategyLowestPosition selects the block that can currently be placed
+	// at the lowest position (the best-fit strategy from Sekiyama et al.).
+	StrategyLowestPosition
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMaxSize:
+		return "max-size"
+	case StrategyMaxArea:
+		return "max-area"
+	case StrategyMaxLifetime:
+		return "max-lifetime"
+	default:
+		return "lowest-position"
+	}
+}
+
+// Strategies lists all single-strategy baselines in display order.
+var Strategies = []Strategy{StrategyMaxSize, StrategyMaxArea, StrategyMaxLifetime, StrategyLowestPosition}
+
+// strategyPolicy is the single-heuristic ablation policy.
+type strategyPolicy struct {
+	strat Strategy
+}
+
+// Candidates returns every unplaced buffer ordered by the strategy's
+// criterion, so minor backtracks naturally fall through to the next-best
+// block.
+func (sp strategyPolicy) Candidates(st *telamon.State) []int {
+	var ids []int
+	for i := range st.Prob.Buffers {
+		if !st.Model.Placed(i) {
+			ids = append(ids, i)
+		}
+	}
+	switch sp.strat {
+	case StrategyMaxSize:
+		sort.Slice(ids, func(a, b int) bool {
+			return keyDesc(st.Prob, ids[a], ids[b], func(x buffers.Buffer) int64 { return x.Size })
+		})
+	case StrategyMaxArea:
+		sort.Slice(ids, func(a, b int) bool {
+			ka, kb := st.Prob.Buffers[ids[a]].Area(), st.Prob.Buffers[ids[b]].Area()
+			if ka != kb {
+				return ka > kb
+			}
+			return ids[a] < ids[b]
+		})
+	case StrategyMaxLifetime:
+		sort.Slice(ids, func(a, b int) bool {
+			return keyDesc(st.Prob, ids[a], ids[b], buffers.Buffer.Lifetime)
+		})
+	case StrategyLowestPosition:
+		pos := make(map[int]int64, len(ids))
+		for _, id := range ids {
+			if p, ok := st.Model.LowestFeasible(id); ok {
+				pos[id] = p
+			} else {
+				pos[id] = 1 << 62
+			}
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			if pos[ids[a]] != pos[ids[b]] {
+				return pos[ids[a]] < pos[ids[b]]
+			}
+			return ids[a] < ids[b]
+		})
+	}
+	return ids
+}
+
+func keyDesc(p *buffers.Problem, a, b int, key func(buffers.Buffer) int64) bool {
+	ka, kb := key(p.Buffers[a]), key(p.Buffers[b])
+	if ka != kb {
+		return ka > kb
+	}
+	return a < b
+}
+
+// Placement places at the lowest possible position, like the paper's
+// ablation setup.
+func (sp strategyPolicy) Placement(st *telamon.State, buf int) (int64, bool) {
+	return st.Model.LowestFeasible(buf)
+}
+
+// BacktrackTarget keeps the framework default; combined with
+// DisableConflictDriven this yields plain "go to the last valid point".
+func (sp strategyPolicy) BacktrackTarget(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	return 0, false
+}
+
+var _ telamon.Policy = strategyPolicy{}
+
+// SolveWithStrategy runs the single-strategy searcher on p with the given
+// step budget (0 = unlimited), reproducing the §7.2 ablation configuration:
+// fixed backtracking, no candidate promotion, no phases.
+func SolveWithStrategy(p *buffers.Problem, strat Strategy, maxSteps int64) telamon.Result {
+	opts := telamon.Options{
+		MaxSteps:              maxSteps,
+		DisableConflictDriven: true,
+		DisablePromotion:      true,
+		StuckThreshold:        -1,
+	}
+	return telamon.Search(p, nil, strategyPolicy{strat}, opts)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/telamon"
+)
+
+func TestStrategyNames(t *testing.T) {
+	want := map[Strategy]string{
+		StrategyMaxSize:        "max-size",
+		StrategyMaxArea:        "max-area",
+		StrategyMaxLifetime:    "max-lifetime",
+		StrategyLowestPosition: "lowest-position",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("String(%d) = %q, want %q", s, s.String(), name)
+		}
+	}
+	if len(Strategies) != 4 {
+		t.Errorf("Strategies has %d entries", len(Strategies))
+	}
+}
+
+func TestStrategiesSolveEasyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := &buffers.Problem{}
+	for i := 0; i < 20; i++ {
+		start := rng.Int63n(20)
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: start, End: start + 1 + rng.Int63n(10), Size: 1 + rng.Int63n(12),
+		})
+	}
+	p.Normalize()
+	p.Memory = buffers.Contention(p).Peak() * 2 // generous
+	for _, s := range Strategies {
+		res := SolveWithStrategy(p, s, 100000)
+		if res.Status != telamon.Solved {
+			t.Errorf("%v: status = %v", s, res.Status)
+			continue
+		}
+		if err := res.Solution.Validate(p); err != nil {
+			t.Errorf("%v: invalid solution: %v", s, err)
+		}
+	}
+}
+
+func TestStrategyStepBudget(t *testing.T) {
+	// Tight infeasible instance: single strategies must hit the cap or
+	// exhaust, never claim success.
+	p := &buffers.Problem{Memory: 10}
+	for i := 0; i < 6; i++ {
+		p.Buffers = append(p.Buffers, buffers.Buffer{Start: 0, End: 10, Size: 3})
+	}
+	p.Normalize()
+	for _, s := range Strategies {
+		res := SolveWithStrategy(p, s, 2000)
+		if res.Status == telamon.Solved {
+			t.Errorf("%v solved an infeasible instance", s)
+		}
+	}
+}
+
+func TestTelaMallocBeatsSingleStrategiesOnHardInstance(t *testing.T) {
+	// A phased instance at tight memory where single strategies need many
+	// more steps (or fail). This reproduces Figure 14's qualitative result.
+	rng := rand.New(rand.NewSource(7))
+	p := &buffers.Problem{}
+	for phase := int64(0); phase < 4; phase++ {
+		base := phase * 12
+		for i := 0; i < 10; i++ {
+			start := base + rng.Int63n(4)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start, End: start + 2 + rng.Int63n(8), Size: 2 + rng.Int63n(10),
+			})
+		}
+	}
+	p.Normalize()
+	p.Memory = buffers.Contention(p).Peak() * 105 / 100
+	tm := Solve(p, Config{MaxSteps: 200000})
+	if tm.Status != telamon.Solved {
+		t.Fatalf("TelaMalloc failed: %+v", tm.Stats)
+	}
+	// At least one single strategy should do no better (more steps or
+	// failure) than the combined policy on this instance.
+	worse := 0
+	for _, s := range Strategies {
+		res := SolveWithStrategy(p, s, 200000)
+		if res.Status != telamon.Solved || res.Stats.Steps >= tm.Stats.Steps {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Errorf("every single strategy strictly beat TelaMalloc (tm steps = %d)", tm.Stats.Steps)
+	}
+}
+
+func TestLowestPositionStrategyOrdersByPosition(t *testing.T) {
+	// With one block already low and another blocked above it, the lowest-
+	// position strategy must pick the one that can go lowest first: on an
+	// empty model that's simply a valid solve.
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 4},
+			{Start: 0, End: 10, Size: 2},
+		},
+		Memory: 6,
+	}
+	p.Normalize()
+	res := SolveWithStrategy(p, StrategyLowestPosition, 1000)
+	if res.Status != telamon.Solved {
+		t.Fatalf("status %v", res.Status)
+	}
+	if err := res.Solution.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements TelaMalloc itself: the heuristic-guided,
+// solver-backed memory allocator of the paper (§5). It plugs a
+// domain-specific policy into the Telamon search framework:
+//
+//   - three block-selection heuristics tried in order at every decision
+//     point — longest lifetime, largest size, largest area (§5.1);
+//   - solver-guided placement: each block goes to the lowest position the
+//     CP solver currently considers valid, which may be underneath
+//     overhangs a skyline would miss (§5.2, Figure 8b);
+//   - contention-based grouping: blocks in the current high-contention
+//     phase are preferred, with other phases as ordered fallbacks (§5.3);
+//   - smart backtracking: conflict-driven backjumps, promotion of failed
+//     candidates to the backtrack target, and stuck detection, all
+//     provided by the framework (§5.4);
+//   - optional ML-guided backtracking via the BacktrackChooser hook (§6);
+//   - independent-subproblem splitting at times no buffer crosses (§5.3).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/phases"
+	"telamalloc/internal/telamon"
+)
+
+// PlacementMode selects how a candidate block's position is chosen.
+type PlacementMode int
+
+const (
+	// SolverGuided asks the CP solver for the lowest currently-valid
+	// position (Figure 8b). This is TelaMalloc's production setting.
+	SolverGuided PlacementMode = iota
+	// SkylineTop drops the block on top of its placed temporal neighbours
+	// (Figure 8a), the simple strategy the paper shows is insufficient.
+	SkylineTop
+)
+
+// BacktrackChooser lets an external component (the learned model of §6)
+// override major-backtrack targets. Choose returns the stack index to
+// resume at; ok=false falls back to the default conflict-driven jump.
+type BacktrackChooser interface {
+	Choose(st *telamon.State, exhausted *telamon.DecisionPoint) (target int, ok bool)
+}
+
+// CandidateGate decides, per decision point, whether to generate the
+// expensive candidate set (every unplaced buffer as fallback) or the cheap
+// one (the three heuristic picks per phase). This is the step-level learned
+// gate §8.3 of the paper proposes as future work; see mlpolicy.StepGate.
+type CandidateGate interface {
+	Expensive(st *telamon.State) bool
+}
+
+// Config tunes TelaMalloc. The zero value is the production configuration.
+type Config struct {
+	// MaxSteps caps placement attempts per subproblem (0 = unlimited).
+	MaxSteps int64
+	// Deadline aborts the allocation when passed (zero = none).
+	Deadline time.Time
+	// Placement selects the placement strategy (default SolverGuided).
+	Placement PlacementMode
+	// DisablePhases turns off contention-based grouping (ablation).
+	DisablePhases bool
+	// DisableSplit turns off independent-subproblem splitting (ablation).
+	DisableSplit bool
+	// DisableConflictDriven reverts major backtracks to fixed one-level
+	// hops (ablation; the paper's "initial implementation").
+	DisableConflictDriven bool
+	// DisablePromotion turns off candidate promotion on major backtracks.
+	DisablePromotion bool
+	// NoFallbackCandidates restricts each decision point to the paper's
+	// three heuristic picks per phase instead of falling through to every
+	// unplaced buffer. More major backtracks occur; used when training and
+	// evaluating the learned backtracking policy, which assumes the paper's
+	// candidate economics.
+	NoFallbackCandidates bool
+	// StuckThreshold forwards to the framework (0 = default 100,
+	// negative = disabled).
+	StuckThreshold int
+	// Chooser, when non-nil, supplies learned backtrack decisions.
+	Chooser BacktrackChooser
+	// Gate, when non-nil, decides per decision point whether to build the
+	// expensive candidate set; it overrides NoFallbackCandidates.
+	Gate CandidateGate
+}
+
+// Result is the outcome of an allocation: the framework result plus
+// aggregate statistics across subproblems.
+type Result struct {
+	Status   telamon.Status
+	Solution *buffers.Solution
+	Stats    telamon.Stats
+	// Subproblems is the number of independent components solved.
+	Subproblems int
+}
+
+// Solve runs TelaMalloc on p.
+func Solve(p *buffers.Problem, cfg Config) Result {
+	if err := p.Validate(); err != nil {
+		return Result{Status: telamon.Exhausted}
+	}
+	if len(p.Buffers) == 0 {
+		return Result{Status: telamon.Solved, Solution: buffers.NewSolution(0)}
+	}
+	groups := [][]int{nil}
+	if cfg.DisableSplit {
+		ids := make([]int, len(p.Buffers))
+		for i := range ids {
+			ids[i] = i
+		}
+		groups[0] = ids
+	} else {
+		groups = phases.SplitIndependent(p)
+	}
+	out := Result{
+		Status:      telamon.Solved,
+		Solution:    buffers.NewSolution(len(p.Buffers)),
+		Subproblems: len(groups),
+	}
+	for _, ids := range groups {
+		sub, back := subProblem(p, ids)
+		res := solveComponent(sub, cfg)
+		accumulate(&out.Stats, res.Stats)
+		if res.Status != telamon.Solved {
+			out.Status = res.Status
+			return out
+		}
+		for subID, off := range res.Solution.Offsets {
+			out.Solution.Offsets[back[subID]] = off
+		}
+	}
+	return out
+}
+
+// Allocator adapts Solve to the heuristics.Allocator interface so the
+// experiment harness can treat every strategy uniformly.
+type Allocator struct {
+	Config Config
+}
+
+// Name implements heuristics.Allocator.
+func (a Allocator) Name() string { return "telamalloc" }
+
+// Allocate implements heuristics.Allocator.
+func (a Allocator) Allocate(p *buffers.Problem) (*buffers.Solution, error) {
+	res := Solve(p, a.Config)
+	if res.Status != telamon.Solved {
+		return nil, fmt.Errorf("telamalloc: %v after %d steps", res.Status, res.Stats.Steps)
+	}
+	return res.Solution, nil
+}
+
+var _ heuristics.Allocator = Allocator{}
+
+// subProblem extracts the buffers with the given IDs into a normalized
+// problem, returning the mapping from new IDs back to original ones. A nil
+// ids takes every buffer.
+func subProblem(p *buffers.Problem, ids []int) (*buffers.Problem, []int) {
+	if ids == nil {
+		ids = make([]int, len(p.Buffers))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	sub := &buffers.Problem{Memory: p.Memory, Name: p.Name}
+	back := make([]int, len(ids))
+	for newID, oldID := range ids {
+		sub.Buffers = append(sub.Buffers, p.Buffers[oldID])
+		back[newID] = oldID
+	}
+	sub.Normalize()
+	return sub, back
+}
+
+func solveComponent(p *buffers.Problem, cfg Config) telamon.Result {
+	policy := newPolicy(p, cfg)
+	opts := telamon.Options{
+		MaxSteps:              cfg.MaxSteps,
+		Deadline:              cfg.Deadline,
+		StuckThreshold:        cfg.StuckThreshold,
+		DisableConflictDriven: cfg.DisableConflictDriven,
+		DisablePromotion:      cfg.DisablePromotion,
+	}
+	return telamon.Search(p, nil, policy, opts)
+}
+
+func accumulate(dst *telamon.Stats, src telamon.Stats) {
+	dst.Steps += src.Steps
+	dst.Placements += src.Placements
+	dst.MinorBacktracks += src.MinorBacktracks
+	dst.MajorBacktracks += src.MajorBacktracks
+	if src.MaxDepth > dst.MaxDepth {
+		dst.MaxDepth = src.MaxDepth
+	}
+	dst.SolverStats.Propagations += src.SolverStats.Propagations
+	dst.SolverStats.OrderFixes += src.SolverStats.OrderFixes
+	dst.SolverStats.Conflicts += src.SolverStats.Conflicts
+	dst.SolverStats.PairWakeups += src.SolverStats.PairWakeups
+}

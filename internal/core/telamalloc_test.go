@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/telamon"
+)
+
+func solveOK(t *testing.T, p *buffers.Problem, cfg Config) Result {
+	t.Helper()
+	res := Solve(p, cfg)
+	if res.Status != telamon.Solved {
+		t.Fatalf("status = %v, want solved (stats %+v)", res.Status, res.Stats)
+	}
+	if err := res.Solution.Validate(p); err != nil {
+		t.Fatalf("invalid solution: %v", err)
+	}
+	return res
+}
+
+func TestSolveTrivial(t *testing.T) {
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 64},
+			{Start: 5, End: 15, Size: 32},
+		},
+		Memory: 128,
+	}
+	p.Normalize()
+	solveOK(t, p, Config{})
+}
+
+func TestSolveEmptyAndInvalid(t *testing.T) {
+	empty := &buffers.Problem{Memory: 8}
+	res := Solve(empty, Config{})
+	if res.Status != telamon.Solved || len(res.Solution.Offsets) != 0 {
+		t.Errorf("empty: %+v", res)
+	}
+	bad := &buffers.Problem{Memory: 0}
+	if res := Solve(bad, Config{}); res.Status == telamon.Solved {
+		t.Error("invalid problem reported solved")
+	}
+}
+
+func TestSolveFigure1(t *testing.T) {
+	// The running example of the paper: block (7) must be ordered against
+	// blocks (1) and (2) correctly or the packing fails. TelaMalloc must
+	// solve it at the exact optimal memory.
+	p := figure1Problem()
+	solveOK(t, p, Config{})
+}
+
+// figure1Problem approximates Figure 1's ten blocks at a tight limit.
+func figure1Problem() *buffers.Problem {
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 12, Size: 3},  // (1) long bottom block
+			{Start: 0, End: 7, Size: 3},   // (2)
+			{Start: 0, End: 3, Size: 2},   // (8) tall early block
+			{Start: 7, End: 12, Size: 3},  // (4)
+			{Start: 2, End: 9, Size: 2},   // (7) the pivotal block
+			{Start: 12, End: 16, Size: 5}, // (5)
+			{Start: 12, End: 16, Size: 3}, // (6)
+			{Start: 16, End: 20, Size: 6}, // (9)
+			{Start: 16, End: 20, Size: 2}, // (10)
+			{Start: 3, End: 7, Size: 2},   // (3)
+		},
+		Memory: 10,
+	}
+	p.Normalize()
+	return p
+}
+
+func TestSolveMatchesExactSolverFeasibility(t *testing.T) {
+	// TelaMalloc is deliberately incomplete (the paper keeps an ILP
+	// fallback for the long tail), so the property is asymmetric:
+	//   - it must NEVER return a packing on a provably infeasible instance
+	//     (soundness, enforced unconditionally), and
+	//   - it must solve the large majority of instances the exact solver
+	//     proves feasible (completeness in practice, enforced as a rate).
+	rng := rand.New(rand.NewSource(12345))
+	solvable, solved := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		p := &buffers.Problem{}
+		n := 2 + rng.Intn(14)
+		for i := 0; i < n; i++ {
+			start := rng.Int63n(15)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start,
+				End:   start + 1 + rng.Int63n(10),
+				Size:  1 + rng.Int63n(8),
+				Align: []int64{0, 0, 2, 4}[rng.Intn(4)],
+			})
+		}
+		p.Normalize()
+		peak := buffers.Contention(p).Peak()
+		p.Memory = peak + rng.Int63n(peak/2+2)
+		exact := ilp.Solve(p, nil, ilp.Options{MaxSteps: 200000})
+		tm := Solve(p, Config{MaxSteps: 100000})
+		if tm.Status == telamon.Solved {
+			if err := tm.Solution.Validate(p); err != nil {
+				t.Fatalf("trial %d: invalid solution: %v", trial, err)
+			}
+			if exact.Status == ilp.Infeasible {
+				t.Fatalf("trial %d: TelaMalloc 'solved' a provably infeasible instance", trial)
+			}
+		}
+		if exact.Status == ilp.Solved {
+			solvable++
+			if tm.Status == telamon.Solved {
+				solved++
+			}
+		}
+	}
+	if solvable == 0 {
+		t.Fatal("no solvable instances generated")
+	}
+	if rate := float64(solved) / float64(solvable); rate < 0.85 {
+		t.Errorf("TelaMalloc solved only %d/%d solver-solvable instances (%.0f%%)", solved, solvable, rate*100)
+	} else {
+		t.Logf("TelaMalloc solved %d/%d solver-solvable instances", solved, solvable)
+	}
+}
+
+func TestSolveAtGenerousAndTightMemory(t *testing.T) {
+	// The paper benchmarks at 1.1x the minimum required memory; TelaMalloc
+	// must handle that reliably. At the exact optimum the problem is much
+	// harder and occasional failures are expected (the long tail), so only
+	// the aggregate is checked there.
+	rng := rand.New(rand.NewSource(99))
+	optFails := 0
+	trials := 0
+	for trial := 0; trial < 10; trial++ {
+		p := &buffers.Problem{Memory: 1 << 30}
+		for i := 0; i < 10; i++ {
+			start := rng.Int63n(12)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start, End: start + 1 + rng.Int63n(8), Size: 1 + rng.Int63n(16),
+			})
+		}
+		p.Normalize()
+		limit, _, ok := ilp.MinimizeMemory(p, nil, ilp.Options{MaxSteps: 200000})
+		if !ok {
+			continue
+		}
+		trials++
+		p.Memory = limit * 11 / 10
+		solveOK(t, p, Config{MaxSteps: 200000})
+		p.Memory = limit
+		if res := Solve(p, Config{MaxSteps: 100000}); res.Status != telamon.Solved {
+			optFails++
+		}
+	}
+	if trials > 0 && optFails > trials/2 {
+		t.Errorf("TelaMalloc failed at the exact optimum on %d/%d instances", optFails, trials)
+	}
+}
+
+func TestSolveRespectsAlignment(t *testing.T) {
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 5},
+			{Start: 0, End: 10, Size: 8, Align: 8},
+			{Start: 0, End: 10, Size: 3, Align: 4},
+		},
+		Memory: 24,
+	}
+	p.Normalize()
+	res := solveOK(t, p, Config{})
+	if res.Solution.Offsets[1]%8 != 0 || res.Solution.Offsets[2]%4 != 0 {
+		t.Errorf("alignment violated: %v", res.Solution.Offsets)
+	}
+}
+
+func TestSubproblemSplitting(t *testing.T) {
+	// Two temporally disjoint clusters must be solved as two subproblems.
+	p := &buffers.Problem{Memory: 8}
+	for c := int64(0); c < 2; c++ {
+		base := c * 100
+		for i := 0; i < 2; i++ {
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: base, End: base + 10, Size: 4,
+			})
+		}
+	}
+	p.Normalize()
+	res := solveOK(t, p, Config{})
+	if res.Subproblems != 2 {
+		t.Errorf("Subproblems = %d, want 2", res.Subproblems)
+	}
+	resNoSplit := solveOK(t, p, Config{DisableSplit: true})
+	if resNoSplit.Subproblems != 1 {
+		t.Errorf("DisableSplit Subproblems = %d, want 1", resNoSplit.Subproblems)
+	}
+}
+
+func TestSolverGuidedBeatsSkylineOnOverhang(t *testing.T) {
+	// §5.2's motivating case: after placing the early block and the
+	// overhanging block, the late block fits only *under* the overhang.
+	// Solver-guided placement finds it; skyline placement cannot, and with
+	// backtracking disabled entirely the skyline variant must fail.
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 2, End: 8, Size: 4}, // overhanging block (longest, placed first)
+			{Start: 0, End: 4, Size: 4}, // early bottom block
+			{Start: 4, End: 8, Size: 4}, // late block; must tuck underneath
+		},
+		Memory: 8,
+	}
+	p.Normalize()
+	res := solveOK(t, p, Config{})
+	if res.Status != telamon.Solved {
+		t.Fatal("solver-guided TelaMalloc failed")
+	}
+	// The same instance under SkylineTop should need backtracks (or fail
+	// with tiny budgets), demonstrating the value of solver placement.
+	sky := Solve(p, Config{Placement: SkylineTop, MaxSteps: 4})
+	solver := Solve(p, Config{MaxSteps: 4})
+	if solver.Status != telamon.Solved {
+		t.Errorf("solver-guided needed more than 4 steps: %+v", solver.Stats)
+	}
+	if sky.Status == telamon.Solved && sky.Stats.Backtracks() == 0 && solver.Stats.Backtracks() > 0 {
+		t.Errorf("skyline unexpectedly strictly better: sky %+v vs solver %+v", sky.Stats, solver.Stats)
+	}
+}
+
+func TestPhasesReduceWorkOnPhasedModels(t *testing.T) {
+	// Models with alternating contention phases: grouping should not hurt,
+	// and both configurations must solve.
+	rng := rand.New(rand.NewSource(11))
+	p := &buffers.Problem{Memory: 0}
+	for phase := int64(0); phase < 5; phase++ {
+		base := phase * 20
+		for i := 0; i < 8; i++ {
+			start := base + rng.Int63n(6)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start, End: start + 2 + rng.Int63n(10), Size: 2 + rng.Int63n(12),
+			})
+		}
+	}
+	p.Normalize()
+	peak := buffers.Contention(p).Peak()
+	p.Memory = peak * 11 / 10
+	withPhases := solveOK(t, p, Config{})
+	withoutPhases := solveOK(t, p, Config{DisablePhases: true})
+	_ = withPhases
+	_ = withoutPhases
+}
+
+func TestAllocatorInterface(t *testing.T) {
+	var alloc heuristics.Allocator = Allocator{}
+	p := figure1Problem()
+	sol, err := alloc.Allocate(p)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := sol.Validate(p); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if alloc.Name() != "telamalloc" {
+		t.Errorf("Name = %q", alloc.Name())
+	}
+	bad := &buffers.Problem{Memory: 4, Buffers: []buffers.Buffer{
+		{Start: 0, End: 2, Size: 4}, {Start: 0, End: 2, Size: 4},
+	}}
+	bad.Normalize()
+	if _, err := alloc.Allocate(bad); err == nil {
+		t.Error("Allocate succeeded on infeasible problem")
+	}
+}
+
+func TestSolveIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := &buffers.Problem{Memory: 64}
+	for i := 0; i < 30; i++ {
+		start := rng.Int63n(25)
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: start, End: start + 1 + rng.Int63n(12), Size: 1 + rng.Int63n(10),
+		})
+	}
+	p.Normalize()
+	a := Solve(p, Config{MaxSteps: 100000})
+	b := Solve(p, Config{MaxSteps: 100000})
+	if a.Status != b.Status || a.Stats.Steps != b.Stats.Steps {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Status == telamon.Solved {
+		for i := range a.Solution.Offsets {
+			if a.Solution.Offsets[i] != b.Solution.Offsets[i] {
+				t.Fatalf("offsets differ at %d", i)
+			}
+		}
+	}
+}

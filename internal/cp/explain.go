@@ -1,0 +1,64 @@
+package cp
+
+// Conflict explanation: when a domain wipes out, we walk the reason chains
+// of the implicated variables and collect the *placed* buffers that
+// (transitively) tightened the failing bounds. This mirrors the behaviour
+// the paper relies on in §5.4: "When the CP solver reports a failure, it
+// also reports conflicting variable assignments. This tells us which block
+// placements caused the problem."
+
+// explainBudget bounds the breadth-first walk over reason chains so that
+// explanation cost stays negligible next to propagation.
+const explainBudget = 256
+
+// explainVar builds a conflict for a wipeout of variable v detected while
+// propagating pair pr.
+func (m *Model) explainVar(pr Pair, v int32) *Conflict {
+	c := &Conflict{Pair: pr, Var: v}
+	c.Placements = m.collect(v, pr.A, pr.B)
+	return c
+}
+
+// explainPair builds a conflict for a dead disjunction (neither ordering of
+// pr is feasible).
+func (m *Model) explainPair(pr Pair) *Conflict {
+	c := &Conflict{Pair: pr, Var: -1}
+	c.Placements = m.collect(pr.A, pr.B)
+	return c
+}
+
+// collect gathers the IDs of placed buffers reachable through the reason
+// chains of the seed variables, breadth-first and deduplicated.
+func (m *Model) collect(seeds ...int32) []int {
+	visited := make(map[int32]bool, 16)
+	var frontier []int32
+	push := func(v int32) {
+		if v >= 0 && !visited[v] {
+			visited[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	var placements []int
+	budget := explainBudget
+	for i := 0; i < len(frontier) && budget > 0; i++ {
+		v := frontier[i]
+		if m.placed[v] {
+			placements = append(placements, int(v))
+			// A placed buffer's position is a decision; its own reasons are
+			// irrelevant to the explanation.
+			continue
+		}
+		for node := m.minReason[v]; node != nil && budget > 0; node = node.prev {
+			push(node.by)
+			budget--
+		}
+		for node := m.maxReason[v]; node != nil && budget > 0; node = node.prev {
+			push(node.by)
+			budget--
+		}
+	}
+	return placements
+}

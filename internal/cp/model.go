@@ -1,0 +1,405 @@
+// Package cp implements the constraint-programming engine that TelaMalloc
+// drives through the Telamon search framework. It is the repository's
+// substitute for the CP-SAT solver the paper builds on: it provides exactly
+// the four capabilities TelaMalloc needs from a solver —
+//
+//  1. incremental variable assignment with propagation to fixpoint,
+//  2. detection of immediate unsatisfiability (domain wipeout),
+//  3. conflict explanations naming the placements that caused a failure,
+//  4. queries for the currently valid range / lowest valid position of
+//     every position variable (solver-guided placement, Figure 8b).
+//
+// The model follows §5.1 of the paper: one integer variable pos(X) per
+// buffer with domain [0, M-size(X)], and for every temporally overlapping
+// pair an ordering disjunction (pos(X)+size(X) <= pos(Y)) XOR
+// (pos(Y)+size(Y) <= pos(X)). Alignment (§5.5) is folded into the bound
+// updates: bounds snap to each buffer's alignment grid.
+//
+// State is managed with a trail so that decisions can be pushed and popped
+// in O(changes), which is what makes heuristic-driven backtracking search
+// cheap.
+package cp
+
+import (
+	"fmt"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/intervals"
+)
+
+// Order is the state of one pairwise ordering disjunction.
+type Order int8
+
+const (
+	// Unknown means neither ordering has been committed yet.
+	Unknown Order = iota
+	// AFirst means pair.A is below pair.B: pos(A) + size(A) <= pos(B).
+	AFirst
+	// BFirst means pair.B is below pair.A: pos(B) + size(B) <= pos(A).
+	BFirst
+)
+
+func (o Order) String() string {
+	switch o {
+	case AFirst:
+		return "A<B"
+	case BFirst:
+		return "B<A"
+	default:
+		return "?"
+	}
+}
+
+// Pair identifies one temporally overlapping buffer pair (A < B by ID).
+type Pair struct {
+	A, B int32
+}
+
+// Conflict describes a propagation failure. Placements lists the IDs of
+// placed buffers whose positions (transitively) explain the failure — the
+// "backtrack reason" TelaMalloc's smart backtracking and ML policy consume.
+type Conflict struct {
+	// Pair is the disjunction whose propagation detected the wipeout.
+	Pair Pair
+	// Var is the position variable whose domain wiped out, or -1 when the
+	// conflict was a dead disjunction (neither ordering feasible).
+	Var int32
+	// Placements holds the IDs of placed buffers implicated in the failure,
+	// deduplicated, in no particular order.
+	Placements []int
+}
+
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("cp: conflict on pair (%d,%d), %d placements implicated", c.Pair.A, c.Pair.B, len(c.Placements))
+}
+
+// Stats counts solver work; TelaMalloc's evaluation reports these.
+type Stats struct {
+	// Propagations is the number of bound updates applied.
+	Propagations int64
+	// OrderFixes is the number of disjunctions resolved by propagation
+	// (rather than by decisions).
+	OrderFixes int64
+	// Conflicts is the number of wipeouts detected.
+	Conflicts int64
+	// PairWakeups counts pair-propagator invocations.
+	PairWakeups int64
+}
+
+// reasonNode forms an immutable chain of "which variable caused this bound"
+// breadcrumbs. Chains are persistent so that popping the trail can restore a
+// previous chain by pointer.
+type reasonNode struct {
+	by   int32 // variable whose bounds/placement triggered the tightening; -1 for decisions
+	prev *reasonNode
+}
+
+type trailKind uint8
+
+const (
+	tMin trailKind = iota
+	tMax
+	tOrder
+	tPlaced
+)
+
+type trailEntry struct {
+	kind      trailKind
+	idx       int32
+	old       int64
+	oldReason *reasonNode
+}
+
+// Model is the CP representation of one allocation problem. It is not safe
+// for concurrent use.
+type Model struct {
+	prob *buffers.Problem
+	ov   *buffers.Overlaps
+
+	posMin, posMax []int64
+	minReason      []*reasonNode
+	maxReason      []*reasonNode
+	placed         []bool
+
+	pairs   []Pair
+	order   []Order
+	pairsOf [][]int32
+
+	trail  []trailEntry
+	levels []int
+
+	queue   []int32
+	inQueue []bool
+
+	stats Stats
+
+	// scratch buffers reused by queries
+	occScratch []intervals.Interval
+}
+
+// NewModel builds the CP model for p. The overlap adjacency may be nil, in
+// which case it is computed. NewModel is O(n + pairs).
+func NewModel(p *buffers.Problem, ov *buffers.Overlaps) *Model {
+	if ov == nil {
+		ov = buffers.ComputeOverlaps(p)
+	}
+	n := len(p.Buffers)
+	m := &Model{
+		prob:      p,
+		ov:        ov,
+		posMin:    make([]int64, n),
+		posMax:    make([]int64, n),
+		minReason: make([]*reasonNode, n),
+		maxReason: make([]*reasonNode, n),
+		placed:    make([]bool, n),
+		pairsOf:   make([][]int32, n),
+	}
+	for i, b := range p.Buffers {
+		m.posMin[i] = b.AlignUp(0)
+		m.posMax[i] = alignDown(p.Memory-b.Size, b.Align)
+	}
+	for a := 0; a < n; a++ {
+		for _, bID := range ov.Neighbors[a] {
+			if bID <= a {
+				continue
+			}
+			idx := int32(len(m.pairs))
+			m.pairs = append(m.pairs, Pair{int32(a), int32(bID)})
+			m.pairsOf[a] = append(m.pairsOf[a], idx)
+			m.pairsOf[bID] = append(m.pairsOf[bID], idx)
+		}
+	}
+	m.order = make([]Order, len(m.pairs))
+	m.inQueue = make([]bool, len(m.pairs))
+	return m
+}
+
+func alignDown(addr, align int64) int64 {
+	if align <= 1 {
+		return addr
+	}
+	return addr - addr%align
+}
+
+// Problem returns the underlying problem.
+func (m *Model) Problem() *buffers.Problem { return m.prob }
+
+// Overlaps returns the shared overlap adjacency.
+func (m *Model) Overlaps() *buffers.Overlaps { return m.ov }
+
+// Stats returns a copy of the work counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+// NumPairs returns the number of ordering disjunctions in the model.
+func (m *Model) NumPairs() int { return len(m.pairs) }
+
+// PairAt returns the k-th pair and its current ordering state.
+func (m *Model) PairAt(k int) (Pair, Order) { return m.pairs[k], m.order[k] }
+
+// MinPos returns the current lower bound of pos(buf).
+func (m *Model) MinPos(buf int) int64 { return m.posMin[buf] }
+
+// MaxPos returns the current upper bound of pos(buf).
+func (m *Model) MaxPos(buf int) int64 { return m.posMax[buf] }
+
+// Placed reports whether buf has been fixed by a Place call.
+func (m *Model) Placed(buf int) bool { return m.placed[buf] }
+
+// Position returns the fixed position of a placed buffer.
+func (m *Model) Position(buf int) int64 { return m.posMin[buf] }
+
+// Level returns the current decision level (number of pushes).
+func (m *Model) Level() int { return len(m.levels) }
+
+// Push opens a new decision level. Pop undoes everything since the matching
+// Push.
+func (m *Model) Push() {
+	m.levels = append(m.levels, len(m.trail))
+}
+
+// Pop restores the model to the state before the most recent Push.
+func (m *Model) Pop() {
+	if len(m.levels) == 0 {
+		panic("cp: Pop without Push")
+	}
+	mark := m.levels[len(m.levels)-1]
+	m.levels = m.levels[:len(m.levels)-1]
+	for len(m.trail) > mark {
+		e := m.trail[len(m.trail)-1]
+		m.trail = m.trail[:len(m.trail)-1]
+		switch e.kind {
+		case tMin:
+			m.posMin[e.idx] = e.old
+			m.minReason[e.idx] = e.oldReason
+		case tMax:
+			m.posMax[e.idx] = e.old
+			m.maxReason[e.idx] = e.oldReason
+		case tOrder:
+			m.order[e.idx] = Order(e.old)
+		case tPlaced:
+			m.placed[e.idx] = false
+		}
+	}
+	m.clearQueue()
+}
+
+func (m *Model) clearQueue() {
+	for _, k := range m.queue {
+		m.inQueue[k] = false
+	}
+	m.queue = m.queue[:0]
+}
+
+// setMin raises the lower bound of variable v to at least val (snapped up to
+// the alignment grid). by names the variable that caused the tightening (-1
+// for decisions). Returns false on domain wipeout.
+func (m *Model) setMin(v int32, val int64, by int32) bool {
+	val = m.prob.Buffers[v].AlignUp(val)
+	if val <= m.posMin[v] {
+		return true
+	}
+	m.trail = append(m.trail, trailEntry{tMin, v, m.posMin[v], m.minReason[v]})
+	m.posMin[v] = val
+	m.minReason[v] = &reasonNode{by: by, prev: m.minReason[v]}
+	m.stats.Propagations++
+	if m.posMin[v] > m.posMax[v] {
+		return false
+	}
+	m.wake(v)
+	return true
+}
+
+// setMax lowers the upper bound of variable v to at most val (snapped down
+// to the alignment grid). Returns false on domain wipeout.
+func (m *Model) setMax(v int32, val int64, by int32) bool {
+	val = alignDown(val, m.prob.Buffers[v].Align)
+	if val >= m.posMax[v] {
+		return true
+	}
+	m.trail = append(m.trail, trailEntry{tMax, v, m.posMax[v], m.maxReason[v]})
+	m.posMax[v] = val
+	m.maxReason[v] = &reasonNode{by: by, prev: m.maxReason[v]}
+	m.stats.Propagations++
+	if m.posMin[v] > m.posMax[v] {
+		return false
+	}
+	m.wake(v)
+	return true
+}
+
+func (m *Model) setOrder(k int32, o Order) {
+	m.trail = append(m.trail, trailEntry{tOrder, k, int64(m.order[k]), nil})
+	m.order[k] = o
+	m.stats.OrderFixes++
+}
+
+// wake enqueues all pairs touching variable v for (re-)propagation.
+func (m *Model) wake(v int32) {
+	for _, k := range m.pairsOf[v] {
+		if !m.inQueue[k] {
+			m.inQueue[k] = true
+			m.queue = append(m.queue, k)
+		}
+	}
+}
+
+// Place fixes buffer buf at position pos inside the current decision level
+// and propagates to fixpoint. It returns a Conflict if propagation detects
+// unsatisfiability (the caller is then expected to Pop). Place does not
+// validate that pos itself is inside the current bounds of buf; a violation
+// simply surfaces as an immediate conflict.
+func (m *Model) Place(buf int, pos int64) *Conflict {
+	v := int32(buf)
+	m.trail = append(m.trail, trailEntry{tPlaced, v, 0, nil})
+	m.placed[buf] = true
+	if !m.setMin(v, pos, -1) || !m.setMax(v, pos, -1) {
+		m.stats.Conflicts++
+		c := m.explainVar(Pair{v, v}, v)
+		m.clearQueue()
+		return c
+	}
+	// Guard against a pos that is below the current minimum (setMin is a
+	// no-op then, but the placement is still invalid).
+	if m.posMin[buf] != pos || m.posMax[buf] != pos {
+		m.stats.Conflicts++
+		c := m.explainVar(Pair{v, v}, v)
+		m.clearQueue()
+		return c
+	}
+	return m.Propagate()
+}
+
+// Propagate runs the pair propagators to fixpoint. On success it returns
+// nil; otherwise the conflict explanation.
+func (m *Model) Propagate() *Conflict {
+	for len(m.queue) > 0 {
+		k := m.queue[0]
+		m.queue = m.queue[1:]
+		m.inQueue[k] = false
+		if c := m.propagatePair(k); c != nil {
+			m.stats.Conflicts++
+			m.clearQueue()
+			return c
+		}
+	}
+	return nil
+}
+
+// propagatePair enforces the disjunction of pair k under current bounds.
+func (m *Model) propagatePair(k int32) *Conflict {
+	m.stats.PairWakeups++
+	pr := m.pairs[k]
+	a, b := pr.A, pr.B
+	sa := m.prob.Buffers[a].Size
+	sb := m.prob.Buffers[b].Size
+	switch m.order[k] {
+	case AFirst:
+		if !m.setMin(b, m.posMin[a]+sa, a) {
+			return m.explainVar(pr, b)
+		}
+		if !m.setMax(a, m.posMax[b]-sa, b) {
+			return m.explainVar(pr, a)
+		}
+	case BFirst:
+		if !m.setMin(a, m.posMin[b]+sb, b) {
+			return m.explainVar(pr, a)
+		}
+		if !m.setMax(b, m.posMax[a]-sb, a) {
+			return m.explainVar(pr, b)
+		}
+	case Unknown:
+		abOK := m.posMin[a]+sa <= m.posMax[b]
+		baOK := m.posMin[b]+sb <= m.posMax[a]
+		switch {
+		case !abOK && !baOK:
+			return m.explainPair(pr)
+		case !abOK:
+			m.setOrder(k, BFirst)
+			return m.propagatePair(k)
+		case !baOK:
+			m.setOrder(k, AFirst)
+			return m.propagatePair(k)
+		}
+	}
+	return nil
+}
+
+// FixOrder commits the ordering of pair k by decision and propagates. Used
+// by the pure-CP baseline searcher.
+func (m *Model) FixOrder(k int, o Order) *Conflict {
+	if m.order[k] != Unknown {
+		if m.order[k] == o {
+			return nil
+		}
+		// Contradicting an already-propagated ordering: conflict.
+		m.stats.Conflicts++
+		return m.explainPair(m.pairs[k])
+	}
+	m.setOrder(int32(k), o)
+	if c := m.propagatePair(int32(k)); c != nil {
+		m.stats.Conflicts++
+		m.clearQueue()
+		return c
+	}
+	return m.Propagate()
+}

@@ -1,0 +1,81 @@
+package cp
+
+import "telamalloc/internal/intervals"
+
+// Queries used for solver-guided placement (Figure 8b in the paper): instead
+// of stacking blocks on the skyline, TelaMalloc asks the solver for the
+// lowest currently-valid location of a buffer, which can be *underneath*
+// overhangs left by earlier placements.
+
+// OccupiedIntervals returns the merged address intervals occupied by placed
+// temporal neighbours of buf. The returned slice is reused between calls;
+// callers must not retain it.
+func (m *Model) OccupiedIntervals(buf int) []intervals.Interval {
+	m.occScratch = m.occScratch[:0]
+	for _, nb := range m.ov.Neighbors[buf] {
+		if m.placed[nb] {
+			pos := m.posMin[nb]
+			m.occScratch = append(m.occScratch, intervals.Interval{Lo: pos, Hi: pos + m.prob.Buffers[nb].Size})
+		}
+	}
+	m.occScratch = intervals.SortAndMerge(m.occScratch)
+	return m.occScratch
+}
+
+// LowestFeasible returns the lowest aligned position for buf that respects
+// its current propagated bounds and does not collide with any placed
+// temporal neighbour. The boolean is false when no such position exists
+// (the caller should treat this as a dead end).
+//
+// Note that this is necessary but not sufficient for global feasibility:
+// deeper consequences only surface when Place propagates. That residual gap
+// is exactly why the search can still backtrack.
+func (m *Model) LowestFeasible(buf int) (int64, bool) {
+	occ := m.OccupiedIntervals(buf)
+	b := m.prob.Buffers[buf]
+	return intervals.LowestFit(occ, b.Size, b.Align, m.posMin[buf], m.posMax[buf]+b.Size)
+}
+
+// NextFeasibleAbove returns the lowest valid position for buf that is
+// strictly greater than prev, or false if none exists. It lets the search
+// enumerate alternative placements for the same buffer on backtracking.
+func (m *Model) NextFeasibleAbove(buf int, prev int64) (int64, bool) {
+	occ := m.OccupiedIntervals(buf)
+	b := m.prob.Buffers[buf]
+	minPos := prev + 1
+	if m.posMin[buf] > minPos {
+		minPos = m.posMin[buf]
+	}
+	if b.Align > 1 {
+		minPos = b.AlignUp(minPos)
+	}
+	return intervals.LowestFit(occ, b.Size, b.Align, minPos, m.posMax[buf]+b.Size)
+}
+
+// FreeSlack returns posMax - posMin for buf: how much freedom propagation
+// has left the variable. Zero means the buffer is effectively pinned.
+func (m *Model) FreeSlack(buf int) int64 { return m.posMax[buf] - m.posMin[buf] }
+
+// Solution extracts the fixed positions of placed buffers into offsets
+// (indexed by buffer ID); unplaced buffers receive -1.
+func (m *Model) Solution() []int64 {
+	out := make([]int64, len(m.posMin))
+	for i := range out {
+		if m.placed[i] {
+			out[i] = m.posMin[i]
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// AllPlaced reports whether every buffer has been fixed.
+func (m *Model) AllPlaced() bool {
+	for _, p := range m.placed {
+		if !p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,379 @@
+// Package gbt implements gradient boosted regression trees — the
+// repository's substitute for the Yggdrasil decision-forest library the
+// paper trains its backtracking model with (§6.5). It provides exactly what
+// TelaMalloc's learned backtracking needs:
+//
+//   - training a regression forest from (feature-vector, score) samples,
+//   - microsecond-scale batched inference (Figure 16),
+//   - permutation feature importance measured as mean RMSE increase
+//     (Figure 17).
+//
+// Training uses histogram (quantile-binned) splits so that the paper's
+// 300k-sample training sets remain tractable.
+package gbt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures training. Zero fields select the defaults noted.
+type Options struct {
+	// Trees is the number of boosting stages (default 100, as the paper's
+	// forest of 100 trees).
+	Trees int
+	// LearningRate shrinks each stage's contribution (default 0.1).
+	LearningRate float64
+	// MaxDepth limits tree depth (default 4).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 8).
+	MinLeaf int
+	// Bins is the number of histogram bins per feature (default 32).
+	Bins int
+	// Subsample is the per-tree row sampling fraction (default 1.0).
+	Subsample float64
+	// Seed drives row subsampling; training is deterministic per seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trees == 0 {
+		o.Trees = 100
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.1
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 8
+	}
+	if o.Bins == 0 {
+		o.Bins = 32
+	}
+	if o.Subsample == 0 {
+		o.Subsample = 1.0
+	}
+	return o
+}
+
+// Dataset is a feature matrix with regression targets. All rows must have
+// the same width.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Node is one tree node in a flattened array representation.
+type Node struct {
+	// Feature is the split feature index; -1 marks a leaf.
+	Feature int `json:"f"`
+	// Threshold: rows with x[Feature] <= Threshold go left.
+	Threshold float64 `json:"t"`
+	// Left and Right index into the tree's node array.
+	Left  int `json:"l"`
+	Right int `json:"r"`
+	// Value is the prediction at a leaf.
+	Value float64 `json:"v"`
+}
+
+// Tree is one regression tree.
+type Tree struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// predict walks the tree for one row.
+func (t *Tree) predict(x []float64) float64 {
+	i := 0
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Forest is a trained gradient-boosted ensemble.
+type Forest struct {
+	Base         float64 `json:"base"`
+	LearningRate float64 `json:"learning_rate"`
+	NumFeatures  int     `json:"num_features"`
+	Trees        []Tree  `json:"trees"`
+}
+
+// Predict returns the model output for one feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	out := f.Base
+	for i := range f.Trees {
+		out += f.LearningRate * f.Trees[i].predict(x)
+	}
+	return out
+}
+
+// PredictBatch fills out[i] with the prediction for xs[i]. The batched form
+// is what TelaMalloc uses at a major backtrack: all candidate targets are
+// scored in one call (§6.5).
+func (f *Forest) PredictBatch(xs [][]float64, out []float64) {
+	for i, x := range xs {
+		out[i] = f.Predict(x)
+	}
+}
+
+// Errors returned by Train.
+var (
+	ErrNoData    = errors.New("gbt: empty training set")
+	ErrBadShapes = errors.New("gbt: inconsistent feature widths")
+)
+
+// Train fits a gradient boosted forest with squared loss: stage k fits a
+// tree to the residuals of the running prediction.
+func Train(ds Dataset, opts Options) (*Forest, error) {
+	opts = opts.withDefaults()
+	n := len(ds.X)
+	if n == 0 || len(ds.Y) != n {
+		return nil, ErrNoData
+	}
+	width := len(ds.X[0])
+	for _, row := range ds.X {
+		if len(row) != width {
+			return nil, ErrBadShapes
+		}
+	}
+	b := newBinner(ds.X, opts.Bins)
+	var base float64
+	for _, y := range ds.Y {
+		base += y
+	}
+	base /= float64(n)
+
+	forest := &Forest{Base: base, LearningRate: opts.LearningRate, NumFeatures: width}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	resid := make([]float64, n)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rows := make([]int, n)
+	for stage := 0; stage < opts.Trees; stage++ {
+		for i := range resid {
+			resid[i] = ds.Y[i] - pred[i]
+		}
+		rows = rows[:0]
+		if opts.Subsample >= 1.0 {
+			for i := 0; i < n; i++ {
+				rows = append(rows, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if rng.Float64() < opts.Subsample {
+					rows = append(rows, i)
+				}
+			}
+			if len(rows) == 0 {
+				rows = append(rows, rng.Intn(n))
+			}
+		}
+		tree := growTree(b, resid, rows, opts)
+		forest.Trees = append(forest.Trees, tree)
+		for i := 0; i < n; i++ {
+			pred[i] += opts.LearningRate * tree.predict(ds.X[i])
+		}
+	}
+	return forest, nil
+}
+
+// binner holds the quantile-binned representation of the feature matrix.
+type binner struct {
+	x          [][]float64
+	thresholds [][]float64 // per feature, sorted candidate thresholds
+	bins       [][]uint8   // bins[row][feature]
+}
+
+func newBinner(x [][]float64, nbins int) *binner {
+	if nbins > 255 {
+		nbins = 255
+	}
+	width := len(x[0])
+	b := &binner{x: x, thresholds: make([][]float64, width), bins: make([][]uint8, len(x))}
+	vals := make([]float64, 0, len(x))
+	for f := 0; f < width; f++ {
+		vals = vals[:0]
+		for _, row := range x {
+			vals = append(vals, row[f])
+		}
+		sort.Float64s(vals)
+		var thr []float64
+		for q := 1; q < nbins; q++ {
+			v := vals[q*(len(vals)-1)/nbins]
+			if len(thr) == 0 || v > thr[len(thr)-1] {
+				thr = append(thr, v)
+			}
+		}
+		b.thresholds[f] = thr
+	}
+	for i, row := range x {
+		b.bins[i] = make([]uint8, width)
+		for f := 0; f < width; f++ {
+			b.bins[i][f] = uint8(binOf(b.thresholds[f], row[f]))
+		}
+	}
+	return b
+}
+
+// binOf returns the smallest i with v <= thr[i], or len(thr) if none.
+func binOf(thr []float64, v float64) int {
+	return sort.SearchFloat64s(thr, v) // thr[i] >= v — matches "v <= thr[i]"
+}
+
+// growTree builds one regression tree over the given rows against target.
+func growTree(b *binner, target []float64, rows []int, opts Options) Tree {
+	t := Tree{}
+	var build func(rows []int, depth int) int
+	build = func(rows []int, depth int) int {
+		var sum float64
+		for _, r := range rows {
+			sum += target[r]
+		}
+		mean := sum / float64(len(rows))
+		idx := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{Feature: -1, Value: mean})
+		if depth >= opts.MaxDepth || len(rows) < 2*opts.MinLeaf {
+			return idx
+		}
+		feat, bin, ok := bestSplit(b, target, rows, sum, opts.MinLeaf)
+		if !ok {
+			return idx
+		}
+		left := make([]int, 0, len(rows)/2)
+		right := make([]int, 0, len(rows)/2)
+		for _, r := range rows {
+			if int(b.bins[r][feat]) <= bin {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		l := build(left, depth+1)
+		r := build(right, depth+1)
+		t.Nodes[idx] = Node{
+			Feature:   feat,
+			Threshold: b.thresholds[feat][bin],
+			Left:      l,
+			Right:     r,
+			Value:     mean,
+		}
+		return idx
+	}
+	build(rows, 0)
+	return t
+}
+
+// bestSplit scans histogram bins for the variance-reducing split with the
+// highest gain. Returns ok=false when no split improves on the parent.
+func bestSplit(b *binner, target []float64, rows []int, totalSum float64, minLeaf int) (feat, bin int, ok bool) {
+	n := float64(len(rows))
+	parentScore := totalSum * totalSum / n
+	bestGain := 1e-12
+	width := len(b.thresholds)
+	var sums [256]float64
+	var counts [256]int
+	for f := 0; f < width; f++ {
+		nbins := len(b.thresholds[f]) + 1
+		if nbins < 2 {
+			continue
+		}
+		for i := 0; i < nbins; i++ {
+			sums[i], counts[i] = 0, 0
+		}
+		for _, r := range rows {
+			bi := b.bins[r][f]
+			sums[bi] += target[r]
+			counts[bi]++
+		}
+		var leftSum float64
+		leftCount := 0
+		for s := 0; s < nbins-1; s++ {
+			leftSum += sums[s]
+			leftCount += counts[s]
+			rightCount := len(rows) - leftCount
+			if leftCount < minLeaf || rightCount < minLeaf {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			gain := leftSum*leftSum/float64(leftCount) + rightSum*rightSum/float64(rightCount) - parentScore
+			if gain > bestGain {
+				bestGain, feat, bin, ok = gain, f, s, true
+			}
+		}
+	}
+	return feat, bin, ok
+}
+
+// RMSE computes the model's root-mean-square error on the dataset.
+func (f *Forest) RMSE(ds Dataset) float64 {
+	if len(ds.X) == 0 {
+		return 0
+	}
+	var ss float64
+	for i, x := range ds.X {
+		d := f.Predict(x) - ds.Y[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(ds.X)))
+}
+
+// PermutationImportance returns, per feature, the mean increase in RMSE
+// when that feature's column is shuffled — the metric Figure 17 plots.
+func PermutationImportance(f *Forest, ds Dataset, seed int64) []float64 {
+	base := f.RMSE(ds)
+	width := f.NumFeatures
+	out := make([]float64, width)
+	rng := rand.New(rand.NewSource(seed))
+	n := len(ds.X)
+	if n == 0 {
+		return out
+	}
+	col := make([]float64, n)
+	perm := make([]int, n)
+	for feat := 0; feat < width; feat++ {
+		for i, row := range ds.X {
+			col[i] = row[feat]
+		}
+		copy(perm, rng.Perm(n))
+		// Shuffle the column, measure, restore.
+		for i, row := range ds.X {
+			row[feat] = col[perm[i]]
+		}
+		out[feat] = f.RMSE(ds) - base
+		for i, row := range ds.X {
+			row[feat] = col[i]
+		}
+	}
+	return out
+}
+
+// Save serialises the forest as JSON (the "baked into the allocator" model
+// artefact of §6.5).
+func (f *Forest) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(f)
+}
+
+// Load reads a forest saved with Save.
+func Load(r io.Reader) (*Forest, error) {
+	var f Forest
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("gbt: %w", err)
+	}
+	return &f, nil
+}

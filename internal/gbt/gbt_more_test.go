@@ -1,0 +1,116 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantFeatureIsNeverSplit(t *testing.T) {
+	// Feature 0 is constant; the model must still learn from feature 1.
+	ds := Dataset{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		x := []float64{5, rng.Float64() * 10}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, x[1]*3)
+	}
+	forest, err := Train(ds, Options{Trees: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tree := range forest.Trees {
+		for _, n := range tree.Nodes {
+			if n.Feature == 0 {
+				t.Fatal("split on a constant feature")
+			}
+		}
+	}
+	if got := forest.Predict([]float64{5, 8}); math.Abs(got-24) > 3 {
+		t.Errorf("Predict = %g, want ~24", got)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	ds := Dataset{X: [][]float64{{1}}, Y: []float64{7}}
+	forest, err := Train(ds, Options{Trees: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forest.Predict([]float64{1}); math.Abs(got-7) > 1e-9 {
+		t.Errorf("Predict = %g, want 7", got)
+	}
+}
+
+func TestSubsampleStillLearns(t *testing.T) {
+	ds := synth(3000, 10, func(x []float64) float64 { return 4 * x[0] })
+	forest, err := Train(ds, Options{Trees: 80, Subsample: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := synth(300, 11, func(x []float64) float64 { return 4 * x[0] })
+	if rmse := forest.RMSE(eval); rmse > 4 {
+		t.Errorf("subsampled RMSE = %g, too high", rmse)
+	}
+}
+
+func TestMoreTreesNeverHurtTrainingFit(t *testing.T) {
+	// Property of gradient boosting with squared loss and a fixed learning
+	// rate: training RMSE is non-increasing in ensemble size (up to small
+	// numerical noise).
+	ds := synth(600, 12, func(x []float64) float64 { return x[0] - 2*x[1] })
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{5, 20, 60} {
+		forest, err := Train(ds, Options{Trees: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse := forest.RMSE(ds)
+		if rmse > prev+1e-6 {
+			t.Errorf("training RMSE rose from %g to %g at %d trees", prev, rmse, n)
+		}
+		prev = rmse
+	}
+}
+
+func TestPredictionsAreFiniteProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := Dataset{}
+		n := 10 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			ds.X = append(ds.X, []float64{rng.NormFloat64(), rng.NormFloat64()})
+			ds.Y = append(ds.Y, rng.NormFloat64()*100)
+		}
+		forest, err := Train(ds, Options{Trees: 10})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			v := forest.Predict([]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	ds := synth(200, 13, func(x []float64) float64 { return x[0] })
+	forest, err := Train(ds, Options{Trees: 5, MinLeaf: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf 50 over 200 samples, trees can have at most 4 leaves =
+	// 7 nodes.
+	for _, tree := range forest.Trees {
+		if len(tree.Nodes) > 7 {
+			t.Errorf("tree with %d nodes violates MinLeaf bound", len(tree.Nodes))
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package gbt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth builds a dataset from a known function plus noise.
+func synth(n int, seed int64, f func([]float64) float64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := Dataset{}
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, f(x)+rng.NormFloat64()*0.05)
+	}
+	return ds
+}
+
+func TestTrainLearnsStepFunction(t *testing.T) {
+	target := func(x []float64) float64 {
+		if x[0] > 5 {
+			return 10
+		}
+		return 0
+	}
+	ds := synth(2000, 1, target)
+	forest, err := Train(ds, Options{Trees: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forest.Predict([]float64{8, 1, 1}); math.Abs(got-10) > 1.5 {
+		t.Errorf("Predict(high) = %g, want ~10", got)
+	}
+	if got := forest.Predict([]float64{2, 9, 9}); math.Abs(got) > 1.5 {
+		t.Errorf("Predict(low) = %g, want ~0", got)
+	}
+}
+
+func TestTrainLearnsInteraction(t *testing.T) {
+	target := func(x []float64) float64 { return x[0] + 2*x[1] }
+	ds := synth(4000, 2, target)
+	forest, err := Train(ds, Options{Trees: 150, MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := synth(500, 3, target)
+	if rmse := forest.RMSE(eval); rmse > 2.0 {
+		t.Errorf("RMSE = %g, want < 2.0", rmse)
+	}
+	// Boosting must improve on the constant predictor.
+	var mean, varsum float64
+	for _, y := range eval.Y {
+		mean += y
+	}
+	mean /= float64(len(eval.Y))
+	for _, y := range eval.Y {
+		varsum += (y - mean) * (y - mean)
+	}
+	baseline := math.Sqrt(varsum / float64(len(eval.Y)))
+	if forest.RMSE(eval) > baseline/2 {
+		t.Errorf("RMSE %g not clearly better than constant baseline %g", forest.RMSE(eval), baseline)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(Dataset{}, Options{}); err != ErrNoData {
+		t.Errorf("empty: %v", err)
+	}
+	bad := Dataset{X: [][]float64{{1, 2}, {1}}, Y: []float64{1, 2}}
+	if _, err := Train(bad, Options{}); err != ErrBadShapes {
+		t.Errorf("ragged: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := synth(500, 4, func(x []float64) float64 { return x[0] })
+	a, _ := Train(ds, Options{Trees: 20, Seed: 7, Subsample: 0.8})
+	b, _ := Train(ds, Options{Trees: 20, Seed: 7, Subsample: 0.8})
+	probe := []float64{3, 3, 3}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Error("training is nondeterministic for identical seeds")
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	ds := synth(300, 5, func(x []float64) float64 { return x[1] })
+	forest, _ := Train(ds, Options{Trees: 10})
+	xs := ds.X[:50]
+	out := make([]float64, len(xs))
+	forest.PredictBatch(xs, out)
+	for i, x := range xs {
+		if out[i] != forest.Predict(x) {
+			t.Fatalf("batch[%d] = %g != %g", i, out[i], forest.Predict(x))
+		}
+	}
+}
+
+func TestPermutationImportanceIdentifiesRelevantFeature(t *testing.T) {
+	// Only feature 1 matters; its importance must dominate.
+	ds := synth(3000, 6, func(x []float64) float64 { return 5 * x[1] })
+	forest, _ := Train(ds, Options{Trees: 60})
+	imp := PermutationImportance(forest, ds, 1)
+	if len(imp) != 3 {
+		t.Fatalf("importance width %d", len(imp))
+	}
+	if imp[1] <= imp[0] || imp[1] <= imp[2] {
+		t.Errorf("importances %v: feature 1 should dominate", imp)
+	}
+	if imp[1] <= 0 {
+		t.Errorf("relevant feature has non-positive importance %g", imp[1])
+	}
+}
+
+func TestPermutationImportanceRestoresData(t *testing.T) {
+	ds := synth(100, 7, func(x []float64) float64 { return x[0] })
+	before := make([]float64, len(ds.X))
+	for i := range ds.X {
+		before[i] = ds.X[i][0]
+	}
+	forest, _ := Train(ds, Options{Trees: 5})
+	PermutationImportance(forest, ds, 2)
+	for i := range ds.X {
+		if ds.X[i][0] != before[i] {
+			t.Fatal("PermutationImportance corrupted the dataset")
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := synth(400, 8, func(x []float64) float64 { return x[0] - x[2] })
+	forest, _ := Train(ds, Options{Trees: 15})
+	var buf bytes.Buffer
+	if err := forest.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1, 2, 3}
+	if loaded.Predict(probe) != forest.Predict(probe) {
+		t.Error("round-tripped forest predicts differently")
+	}
+	if _, err := Load(bytes.NewBufferString("{")); err == nil {
+		t.Error("malformed model accepted")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	ds := Dataset{}
+	for i := 0; i < 50; i++ {
+		ds.X = append(ds.X, []float64{float64(i)})
+		ds.Y = append(ds.Y, 42)
+	}
+	forest, err := Train(ds, Options{Trees: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forest.Predict([]float64{25}); math.Abs(got-42) > 1e-9 {
+		t.Errorf("constant target predicted as %g", got)
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	thr := []float64{1, 3, 5}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 2}, {9, 3}}
+	for _, c := range cases {
+		if got := binOf(thr, c.v); got != c.want {
+			t.Errorf("binOf(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

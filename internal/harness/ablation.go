@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"telamalloc/internal/core"
+	"telamalloc/internal/stats"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+// AblationRow summarises one TelaMalloc configuration over the sweep.
+type AblationRow struct {
+	Config       string
+	Failed       int
+	GeomeanSteps float64
+	MeanBacktrks float64
+}
+
+// AblationResult is the design-choice ablation outcome.
+type AblationResult struct {
+	Configs   int
+	CommonSet int
+	Rows      []AblationRow
+}
+
+// ablationConfigs enumerates the design choices §5 introduces one by one.
+func ablationConfigs(maxSteps int64) []struct {
+	name string
+	cfg  core.Config
+} {
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"full telamalloc", core.Config{MaxSteps: maxSteps}},
+		{"skyline placement", core.Config{MaxSteps: maxSteps, Placement: core.SkylineTop}},
+		{"no phases", core.Config{MaxSteps: maxSteps, DisablePhases: true}},
+		{"no subproblem split", core.Config{MaxSteps: maxSteps, DisableSplit: true}},
+		{"fixed backtracking", core.Config{MaxSteps: maxSteps, DisableConflictDriven: true}},
+		{"no candidate promotion", core.Config{MaxSteps: maxSteps, DisablePromotion: true}},
+		{"no stuck detection", core.Config{MaxSteps: maxSteps, StuckThreshold: -1}},
+	}
+}
+
+// Ablation measures each §5 mechanism's contribution by disabling it on a
+// sweep of tight random instances — the quantitative version of the paper's
+// qualitative claims ("this strategy is necessary ...", "can help the
+// search significantly").
+func Ablation(opts Options) AblationResult {
+	opts = opts.withDefaults()
+	n := opts.Configs
+	cfgs := ablationConfigs(opts.MaxSteps)
+	type cell struct {
+		steps    float64
+		backtrks float64
+		solved   bool
+	}
+	grid := make([][]cell, len(cfgs))
+	for i := range grid {
+		grid[i] = make([]cell, n)
+	}
+	forEach(n, opts.Workers, func(ci int) {
+		ratio := 100
+		if ci%2 == 1 {
+			ratio = 105
+		}
+		p := workload.Random(opts.Seed+int64(ci/2), ratio)
+		for fi, c := range cfgs {
+			res := core.Solve(p, c.cfg)
+			grid[fi][ci] = cell{
+				steps:    float64(res.Stats.Steps),
+				backtrks: float64(res.Stats.Backtracks()),
+				solved:   res.Status == telamon.Solved,
+			}
+		}
+	})
+	out := AblationResult{Configs: n}
+	common := make([]bool, n)
+	for ci := 0; ci < n; ci++ {
+		common[ci] = true
+		for fi := range cfgs {
+			if !grid[fi][ci].solved {
+				common[ci] = false
+				break
+			}
+		}
+		if common[ci] {
+			out.CommonSet++
+		}
+	}
+	for fi, c := range cfgs {
+		row := AblationRow{Config: c.name}
+		var steps, bts []float64
+		for ci := 0; ci < n; ci++ {
+			if !grid[fi][ci].solved {
+				row.Failed++
+			} else if common[ci] {
+				steps = append(steps, grid[fi][ci].steps)
+				bts = append(bts, grid[fi][ci].backtrks)
+			}
+		}
+		row.GeomeanSteps = stats.GeoMean(steps)
+		row.MeanBacktrks = stats.Mean(bts)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// PrintAblation renders the design-choice ablation.
+func PrintAblation(w io.Writer, r AblationResult) {
+	fmt.Fprintf(w, "Ablation: contribution of each §5 mechanism over %d tight configurations\n", r.Configs)
+	fmt.Fprintf(w, "%-24s %10s %16s %16s\n", "Configuration", "#Failing", "Geomean steps", "Mean backtracks")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-24s %10d %16.1f %16.1f\n", row.Config, row.Failed, row.GeomeanSteps, row.MeanBacktrks)
+	}
+	fmt.Fprintf(w, "(aggregates over the %d configurations every variant solved)\n", r.CommonSet)
+}

@@ -1,0 +1,339 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/mlpolicy"
+	"telamalloc/internal/stats"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1: microbenchmarks
+// ---------------------------------------------------------------------------
+
+// Table1Row is one microbenchmark measurement.
+type Table1Row struct {
+	Benchmark string
+	TotalMs   float64
+	PerStepMs float64
+	Steps     int64
+}
+
+// Table1 reproduces the paper's microbenchmark table: TelaMalloc on
+// non-overlapping and fully overlapping inputs that need no backtracking.
+func Table1(opts Options) []Table1Row {
+	opts = opts.withDefaults()
+	cases := []struct {
+		name string
+		gen  func() *buffers.Problem
+	}{
+		{"non-overlapping-1K", func() *buffers.Problem { return workload.NonOverlapping(1000, opts.Seed) }},
+		{"non-overlapping-10K", func() *buffers.Problem { return workload.NonOverlapping(10000, opts.Seed) }},
+		{"full-overlap-100", func() *buffers.Problem { return workload.FullOverlap(100, opts.Seed) }},
+		{"full-overlap-1K", func() *buffers.Problem { return workload.FullOverlap(1000, opts.Seed) }},
+	}
+	var rows []Table1Row
+	for _, c := range cases {
+		p := c.gen()
+		var res core.Result
+		d := timeIt(opts.Repeats, func() {
+			res = core.Solve(p, core.Config{})
+		})
+		steps := res.Stats.Steps
+		if steps == 0 {
+			steps = 1
+		}
+		rows = append(rows, Table1Row{
+			Benchmark: c.name,
+			TotalMs:   float64(d.Microseconds()) / 1e3,
+			PerStepMs: float64(d.Microseconds()) / 1e3 / float64(steps),
+			Steps:     steps,
+		})
+	}
+	return rows
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Microbenchmark results\n")
+	fmt.Fprintf(w, "%-22s %14s %14s %10s\n", "Benchmark", "Total (ms)", "Time/Step (ms)", "Steps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %14.2f %14.4f %10d\n", r.Benchmark, r.TotalMs, r.PerStepMs, r.Steps)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: baseline heuristic quality and speed
+// ---------------------------------------------------------------------------
+
+// Table2Row reports the greedy heuristic's minimum required memory relative
+// to the best-known optimum, plus its running time.
+type Table2Row struct {
+	Model string
+	// MinMemoryRatio is heuristic minimum / best-known minimum (>= 1).
+	MinMemoryRatio float64
+	TimeMs         float64
+}
+
+// Table2 reproduces the heuristic-quality table over the benchmark models.
+func Table2(opts Options) []Table2Row {
+	opts = opts.withDefaults()
+	models := benchmarkModels()
+	rows := make([]Table2Row, len(models))
+	forEach(len(models), opts.Workers, func(i int) {
+		m := models[i]
+		p := m.Generate(opts.Seed)
+		p.Memory = p.TotalBytes() // structural upper bound for the searches below
+		heurMin := heuristics.MinMemory(heuristics.GreedyContentionUnbounded, p)
+		best := minRequiredMemory(p, opts.MaxSteps)
+		if heurMin < best {
+			best = heurMin
+		}
+		d := timeIt(opts.Repeats, func() {
+			heuristics.GreedyContentionUnbounded(p)
+		})
+		rows[i] = Table2Row{
+			Model:          m.Name,
+			MinMemoryRatio: float64(heurMin) / float64(best),
+			TimeMs:         float64(d.Microseconds()) / 1e3,
+		}
+	})
+	return rows
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table 2: Heuristic minimum required memory (vs best-known optimum) and runtime\n")
+	fmt.Fprintf(w, "%-20s %22s %12s\n", "Benchmark", "Min Required Memory", "Time (ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %21.2fx %12.2f\n", r.Model, r.MinMemoryRatio, r.TimeMs)
+	}
+}
+
+// benchmarkModels returns the 11 models of Figures 12/13 and Table 2
+// (everything except SRGAN, which §7.3 uses separately).
+func benchmarkModels() []workload.Model {
+	var out []workload.Model
+	for _, m := range workload.Models {
+		if m.Name != "SRGAN" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: live memory under three allocators
+// ---------------------------------------------------------------------------
+
+// Fig3Series is one allocator's usage-over-time profile.
+type Fig3Series struct {
+	Allocator string
+	Peak      int64
+	Steps     []buffers.ContentionStep
+}
+
+// Fig3Result holds the three series plus the reference memory limit.
+type Fig3Result struct {
+	Model       string
+	MemoryLimit int64
+	Series      []Fig3Series
+}
+
+// Fig3 compares live memory under best-fit, the greedy heuristic and the
+// solver-based approach (TelaMalloc at the best-known minimum memory).
+func Fig3(opts Options) Fig3Result {
+	opts = opts.withDefaults()
+	m, _ := workload.ByName("Image Model 1")
+	p := m.Generate(opts.Seed)
+	p.Memory = p.TotalBytes()
+	best := minRequiredMemory(p, opts.MaxSteps)
+	out := Fig3Result{Model: m.Name, MemoryLimit: best * 105 / 100}
+
+	bfSol, bfPeak := heuristics.BestFitUnbounded(p)
+	out.Series = append(out.Series, Fig3Series{"best-fit (BFC)", bfPeak, heuristics.UsageProfile(p, bfSol)})
+
+	grSol, grPeak := heuristics.GreedyContentionUnbounded(p)
+	out.Series = append(out.Series, Fig3Series{"greedy heuristic", grPeak, heuristics.UsageProfile(p, grSol)})
+
+	q := p.Clone()
+	q.Memory = best
+	res := core.Solve(q, core.Config{MaxSteps: opts.MaxSteps})
+	if res.Status == telamon.Solved {
+		out.Series = append(out.Series, Fig3Series{"solver (TelaMalloc)", res.Solution.PeakUsage(q), heuristics.UsageProfile(q, res.Solution)})
+	}
+	return out
+}
+
+// PrintFig3 renders the peaks and a coarse per-series profile.
+func PrintFig3(w io.Writer, r Fig3Result) {
+	fmt.Fprintf(w, "Figure 3: Live memory by allocator on %s (hypothetical limit %d)\n", r.Model, r.MemoryLimit)
+	for _, s := range r.Series {
+		over := ""
+		if s.Peak > r.MemoryLimit {
+			over = "  <-- exceeds limit"
+		}
+		fmt.Fprintf(w, "%-22s peak %12d%s\n", s.Allocator, s.Peak, over)
+	}
+	fmt.Fprintf(w, "profile samples (time: usage per series):\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  %-20s", s.Allocator)
+		step := len(s.Steps)/8 + 1
+		for i := 0; i < len(s.Steps); i += step {
+			fmt.Fprintf(w, " %d:%d", s.Steps[i].Start, s.Steps[i].Contention)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12/13: allocation time, TelaMalloc vs baselines
+// ---------------------------------------------------------------------------
+
+// Fig12Row is one model's allocation-time comparison.
+type Fig12Row struct {
+	Model       string
+	Buffers     int
+	HeuristicMs float64
+	// HeuristicOK reports whether the greedy heuristic solved the instance
+	// at the benchmark memory ratio.
+	HeuristicOK  bool
+	TelaMallocMs float64
+	TelaMallocOK bool
+	ILPMs        float64
+	ILPOK        bool
+	// CPMs is the pure CP-encoding baseline (Figure 13 only; zero when not
+	// measured).
+	CPMs float64
+	CPOK bool
+	// MLMs is TelaMalloc with the learned backtracking policy (Figure 13
+	// only; zero when no model was supplied).
+	MLMs float64
+	MLOK bool
+	// Relative is ILP time / TelaMalloc time.
+	Relative float64
+}
+
+// Fig12 measures allocation time on the benchmark models at the paper's
+// 110%-of-minimum memory setting. withCP additionally measures the pure
+// CP-encoding baseline and, when model is non-nil, ML-guided TelaMalloc
+// (the Figure 13 variant).
+func Fig12(opts Options, withCP bool, model *TrainedModel) []Fig12Row {
+	opts = opts.withDefaults()
+	models := benchmarkModels()
+	rows := make([]Fig12Row, len(models))
+	forEach(len(models), opts.Workers, func(i int) {
+		m := models[i]
+		base := m.Generate(opts.Seed)
+		base.Memory = base.TotalBytes()
+		minMem := minRequiredMemory(base, opts.MaxSteps)
+		p := atRatio(base, minMem, opts.MemoryRatioPct)
+		row := Fig12Row{Model: m.Name, Buffers: len(p.Buffers)}
+
+		var hs *buffers.Solution
+		var herr error
+		d := timeIt(opts.Repeats, func() {
+			hs, herr = heuristics.GreedyContention{}.Allocate(p)
+		})
+		_ = hs
+		row.HeuristicMs = ms(d)
+		row.HeuristicOK = herr == nil
+
+		var tmRes core.Result
+		d = timeIt(opts.Repeats, func() {
+			tmRes = core.Solve(p, core.Config{MaxSteps: opts.MaxSteps, Deadline: time.Now().Add(opts.SolverDeadline)})
+		})
+		row.TelaMallocMs = ms(d)
+		row.TelaMallocOK = tmRes.Status == telamon.Solved
+
+		var ilpRes ilp.Result
+		d = timeIt(1, func() { // exact solver: one run, deadline-capped
+			ilpRes = ilp.Solve(p, nil, opts.ilpOptions(ilp.BranchMostConstraining))
+		})
+		row.ILPMs = ms(d)
+		row.ILPOK = ilpRes.Status == ilp.Solved
+
+		if withCP {
+			var cpRes ilp.Result
+			d = timeIt(1, func() {
+				cpRes = ilp.Solve(p, nil, opts.ilpOptions(ilp.BranchFirstUnresolved))
+			})
+			row.CPMs = ms(d)
+			row.CPOK = cpRes.Status == ilp.Solved
+		}
+		if withCP && model != nil {
+			var mlRes core.Result
+			d = timeIt(opts.Repeats, func() {
+				ch := mlpolicy.NewChooser(model.Forest, p)
+				mlRes = core.Solve(p, core.Config{MaxSteps: opts.MaxSteps, Chooser: ch, DisableSplit: true})
+			})
+			row.MLMs = ms(d)
+			row.MLOK = mlRes.Status == telamon.Solved
+		}
+		if row.TelaMallocMs > 0 {
+			row.Relative = row.ILPMs / row.TelaMallocMs
+		}
+		rows[i] = row
+	})
+	return rows
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// PrintFig12 renders the allocation-time comparison.
+func PrintFig12(w io.Writer, rows []Fig12Row, withCP bool) {
+	title := "Figure 12"
+	if withCP {
+		title = "Figure 13 (workstation, with CP-SAT baseline)"
+	}
+	fmt.Fprintf(w, "%s: Allocation time per model (110%% of min memory)\n", title)
+	fmt.Fprintf(w, "%-20s %6s %14s %14s %14s", "Model", "Bufs", "Heuristic(ms)", "TelaMalloc(ms)", "ILP(ms)")
+	if withCP {
+		fmt.Fprintf(w, " %14s %14s", "CP-SAT(ms)", "TM+ML(ms)")
+	}
+	fmt.Fprintf(w, " %10s\n", "ILP/TM")
+	var rels []float64
+	for _, r := range rows {
+		h := fmt.Sprintf("%.1f", r.HeuristicMs)
+		if !r.HeuristicOK {
+			h += "*"
+		}
+		tm := fmt.Sprintf("%.1f", r.TelaMallocMs)
+		if !r.TelaMallocOK {
+			tm += "*"
+		}
+		il := fmt.Sprintf("%.1f", r.ILPMs)
+		if !r.ILPOK {
+			il += "*"
+		}
+		fmt.Fprintf(w, "%-20s %6d %14s %14s %14s", r.Model, r.Buffers, h, tm, il)
+		if withCP {
+			cp := fmt.Sprintf("%.1f", r.CPMs)
+			if !r.CPOK {
+				cp += "*"
+			}
+			ml := "-"
+			if r.MLMs > 0 {
+				ml = fmt.Sprintf("%.1f", r.MLMs)
+				if !r.MLOK {
+					ml += "*"
+				}
+			}
+			fmt.Fprintf(w, " %14s %14s", cp, ml)
+		}
+		fmt.Fprintf(w, " %9.1fx\n", r.Relative)
+		if r.TelaMallocOK {
+			rels = append(rels, r.Relative)
+		}
+	}
+	fmt.Fprintf(w, "(* = failed / hit deadline at this memory ratio)\n")
+	fmt.Fprintf(w, "median ILP/TelaMalloc speedup: %.1fx\n", stats.Median(rels))
+}

@@ -1,0 +1,286 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/mlpolicy"
+	"telamalloc/internal/workload"
+)
+
+// quickOpts keeps harness tests fast: tiny sweeps, short deadlines.
+func quickOpts() Options {
+	return Options{
+		Seed:           1,
+		SolverDeadline: 2 * time.Second,
+		MaxSteps:       30000,
+		Configs:        8,
+		Repeats:        1,
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	hits := make([]bool, 100)
+	forEach(100, 4, func(i int) { hits[i] = true })
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("index %d not run", i)
+		}
+	}
+	forEach(3, 0, func(i int) {}) // workers < 1 must not deadlock
+}
+
+func TestTimeIt(t *testing.T) {
+	calls := 0
+	d := timeIt(3, func() { calls++ })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if d < 0 {
+		t.Errorf("negative duration %v", d)
+	}
+}
+
+func TestMinRequiredMemoryBounds(t *testing.T) {
+	p := workload.Random(3, 150)
+	p.Memory = p.TotalBytes()
+	min := minRequiredMemory(p, 30000)
+	peak := buffers.Contention(p).Peak()
+	if min < peak {
+		t.Errorf("min %d below contention peak %d", min, peak)
+	}
+	if min > p.TotalBytes() {
+		t.Errorf("min %d above total bytes", min)
+	}
+}
+
+func TestAtRatio(t *testing.T) {
+	p := &buffers.Problem{Memory: 100, Buffers: []buffers.Buffer{{Start: 0, End: 1, Size: 10}}}
+	q := atRatio(p, 100, 110)
+	if q.Memory != 110 {
+		t.Errorf("Memory = %d, want 110", q.Memory)
+	}
+	if q := atRatio(p, 100, 50); q.Memory != 100 {
+		t.Errorf("sub-base ratio not clamped: %d", q.Memory)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	opts := quickOpts()
+	rows := Table1(opts)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Per-step cost must grow from non-overlapping to full-overlap (the
+	// quadratic constraint effect, Table 1's point).
+	nonOv, fullOv := rows[0], rows[3]
+	if fullOv.PerStepMs <= nonOv.PerStepMs {
+		t.Errorf("full-overlap per-step %.4f <= non-overlapping %.4f", fullOv.PerStepMs, nonOv.PerStepMs)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "full-overlap-1K") {
+		t.Error("render missing benchmark name")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(quickOpts())
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if r.MinMemoryRatio < 0.999 {
+			t.Errorf("%s: ratio %.3f below 1.0 (heuristic beating the best-known optimum?)", r.Model, r.MinMemoryRatio)
+		}
+		if r.MinMemoryRatio > 3 {
+			t.Errorf("%s: ratio %.2f implausibly high", r.Model, r.MinMemoryRatio)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "OpenPose") {
+		t.Error("render missing model")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := Fig3(quickOpts())
+	if len(r.Series) < 2 {
+		t.Fatalf("got %d series", len(r.Series))
+	}
+	// Best-fit must need at least as much memory as the solver series.
+	bf := r.Series[0]
+	last := r.Series[len(r.Series)-1]
+	if last.Allocator == "solver (TelaMalloc)" && bf.Peak < last.Peak {
+		t.Errorf("best-fit peak %d below solver peak %d", bf.Peak, last.Peak)
+	}
+	var buf bytes.Buffer
+	PrintFig3(&buf, r)
+	if !strings.Contains(buf.String(), "best-fit") {
+		t.Error("render missing series")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	opts := quickOpts()
+	opts.Configs = 12
+	r := Fig14(opts)
+	if len(r.Rows) != 5 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	var tmFailed int
+	worst := 0
+	for _, row := range r.Rows {
+		if row.Strategy == "telamalloc" {
+			tmFailed = row.Failed
+		} else if row.Failed > worst {
+			worst = row.Failed
+		}
+	}
+	if tmFailed > worst {
+		t.Errorf("telamalloc failed %d, worst single strategy %d — combined policy should not be the worst", tmFailed, worst)
+	}
+	var buf bytes.Buffer
+	PrintFig14(&buf, r)
+	if !strings.Contains(buf.String(), "lowest-position") {
+		t.Error("render missing strategy")
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	rows := Fig18(quickOpts())
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 0.99 {
+			t.Errorf("%s: TelaMalloc repacker made the program slower: %.3f", r.Model, r.Speedup)
+		}
+		if r.PackedTM < r.PackedBF {
+			t.Errorf("%s: TelaMalloc packed fewer bytes (%d) than best-fit (%d)", r.Model, r.PackedTM, r.PackedBF)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig18(&buf, rows)
+	if !strings.Contains(buf.String(), "Speedup") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	r := Fig19(quickOpts())
+	if r.Peak <= 0 || len(r.Profile) == 0 {
+		t.Fatalf("empty profile: %+v", r)
+	}
+	var buf bytes.Buffer
+	PrintFig19(&buf, r)
+	if !strings.Contains(buf.String(), "OpenPose") {
+		t.Error("render missing model name")
+	}
+}
+
+func TestTimePrefix(t *testing.T) {
+	p := &buffers.Problem{Memory: 10, Buffers: []buffers.Buffer{
+		{Start: 0, End: 10, Size: 1},
+		{Start: 40, End: 60, Size: 1},
+		{Start: 90, End: 100, Size: 1},
+	}}
+	p.Normalize()
+	half := timePrefix(p, 50)
+	if len(half.Buffers) != 2 {
+		t.Fatalf("got %d buffers, want 2", len(half.Buffers))
+	}
+	// The second buffer must be truncated at the cut.
+	if half.Buffers[1].End > 50 {
+		t.Errorf("buffer not truncated: %+v", half.Buffers[1])
+	}
+	full := timePrefix(p, 100)
+	if len(full.Buffers) != 3 {
+		t.Errorf("full prefix dropped buffers: %d", len(full.Buffers))
+	}
+}
+
+func TestFig12QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 is slow")
+	}
+	opts := quickOpts()
+	rows := Fig12(opts, false, nil)
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.TelaMallocOK {
+			t.Errorf("%s: TelaMalloc failed at 110%% memory", r.Model)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, rows, false)
+	if !strings.Contains(buf.String(), "median") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestAblationQuickShape(t *testing.T) {
+	opts := quickOpts()
+	opts.Configs = 10
+	r := Ablation(opts)
+	if len(r.Rows) != 7 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	var full AblationRow
+	worstFailed := 0
+	for _, row := range r.Rows {
+		if row.Config == "full telamalloc" {
+			full = row
+		}
+		if row.Failed > worstFailed {
+			worstFailed = row.Failed
+		}
+	}
+	if full.Config == "" {
+		t.Fatal("full configuration missing")
+	}
+	// The full configuration must be at least as good as the worst ablated
+	// variant (each mechanism exists because removing it hurts somewhere).
+	if full.Failed > worstFailed {
+		t.Errorf("full config failed %d, worse than the worst ablation %d", full.Failed, worstFailed)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, r)
+	if !strings.Contains(buf.String(), "skyline placement") {
+		t.Error("render missing variant")
+	}
+}
+
+func TestLongTailQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("longtail needs a trained model")
+	}
+	// A constant high-score forest makes the chooser always act; the sweep
+	// must complete and produce internally consistent counts.
+	forest := &gbt.Forest{Base: 10, LearningRate: 0.1, NumFeatures: mlpolicy.NumFeatures}
+	model := &TrainedModel{Forest: forest}
+	opts := quickOpts()
+	opts.Configs = 6
+	r := LongTail(opts, model)
+	if r.Configs != 6 {
+		t.Fatalf("Configs = %d", r.Configs)
+	}
+	if r.Improved > r.HardInputs {
+		t.Errorf("improved %d exceeds hard inputs %d", r.Improved, r.HardInputs)
+	}
+	if r.TimeoutsFixed > r.Improved {
+		t.Errorf("timeouts fixed %d exceeds improved %d", r.TimeoutsFixed, r.Improved)
+	}
+	var buf bytes.Buffer
+	PrintLongTail(&buf, r)
+	if !strings.Contains(buf.String(), "hard inputs") {
+		t.Error("render missing summary")
+	}
+}

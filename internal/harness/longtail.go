@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/mlpolicy"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+// LongTailResult summarises the §7.3 experiment: how the learned
+// backtracking policy changes outcomes on the hard tail of a large
+// configuration sweep.
+type LongTailResult struct {
+	Configs int
+	// HardInputs counts configurations where default TelaMalloc backtracked
+	// more than HardThreshold times (the paper's >1,000 criterion).
+	HardInputs    int
+	HardThreshold int64
+	// Improved counts hard inputs where ML reduced backtracks.
+	Improved int
+	// TimeoutsFixed counts inputs that failed by default but solve with ML.
+	TimeoutsFixed int
+	// BigWins counts hard inputs with a >= 10x backtrack reduction.
+	BigWins int
+	// Regressions counts inputs where ML failed although the default
+	// succeeded, or increased backtracks >= 10x.
+	Regressions int
+}
+
+// LongTail reproduces the §7.3 sweep on Options.Configs random inputs: run
+// TelaMalloc with and without the trained backtracking model and compare
+// backtrack counts. Backtrack counts are timing-independent, so the worker
+// pool does not distort results.
+func LongTail(opts Options, model *TrainedModel) LongTailResult {
+	opts = opts.withDefaults()
+	n := opts.Configs
+	out := LongTailResult{Configs: n, HardThreshold: 1000}
+	type rec struct {
+		offBT, onBT int64
+		offOK, onOK bool
+	}
+	recs := make([]rec, n)
+	forEach(n, opts.Workers, func(i int) {
+		// Even indices: memory set to the greedy heuristic's minimum — the
+		// instance is *provably feasible* yet tight, the regime where the
+		// paper's hard-but-fixable inputs live. Odd indices: slightly above
+		// the contention peak (feasibility unknown), covering the rest of
+		// the distribution.
+		p := workload.Random(opts.Seed+int64(i/2), 101)
+		if i%2 == 0 {
+			_, greedyMin := heuristics.GreedyContentionUnbounded(p)
+			p.Memory = greedyMin
+		}
+		// Both arms use the paper's strict candidate economics so the
+		// comparison isolates the backtracking policy.
+		off := core.Solve(p, core.Config{MaxSteps: opts.MaxSteps, DisableSplit: true, NoFallbackCandidates: true})
+		ch := mlpolicy.NewChooser(model.Forest, p)
+		on := core.Solve(p, core.Config{MaxSteps: opts.MaxSteps, DisableSplit: true, NoFallbackCandidates: true, Chooser: ch})
+		recs[i] = rec{
+			offBT: off.Stats.Backtracks(),
+			onBT:  on.Stats.Backtracks(),
+			offOK: off.Status == telamon.Solved,
+			onOK:  on.Status == telamon.Solved,
+		}
+	})
+	for _, r := range recs {
+		hard := r.offBT > out.HardThreshold || !r.offOK
+		if hard {
+			out.HardInputs++
+			if !r.offOK && r.onOK {
+				out.TimeoutsFixed++
+				out.Improved++
+			} else if r.onOK && r.onBT < r.offBT {
+				out.Improved++
+				if r.onBT*10 <= r.offBT {
+					out.BigWins++
+				}
+			}
+		}
+		if (r.offOK && !r.onOK) || (r.offOK && r.onOK && r.onBT >= 10*r.offBT && r.offBT > 0) {
+			out.Regressions++
+		}
+	}
+	return out
+}
+
+// PrintLongTail renders the long-tail summary.
+func PrintLongTail(w io.Writer, r LongTailResult) {
+	fmt.Fprintf(w, "Long tail (§7.3): ML backtracking over %d configurations\n", r.Configs)
+	fmt.Fprintf(w, "hard inputs (> %d backtracks or unsolved): %d\n", r.HardThreshold, r.HardInputs)
+	fmt.Fprintf(w, "  improved by ML:                 %d\n", r.Improved)
+	fmt.Fprintf(w, "  previously failing, now solved: %d\n", r.TimeoutsFixed)
+	fmt.Fprintf(w, "  >=10x fewer backtracks:         %d\n", r.BigWins)
+	fmt.Fprintf(w, "regressions (failed or >=10x more backtracks): %d\n", r.Regressions)
+}

@@ -1,0 +1,242 @@
+package heuristics
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"telamalloc/internal/buffers"
+)
+
+func randomProblem(rng *rand.Rand, n int, mem int64) *buffers.Problem {
+	p := &buffers.Problem{Memory: mem}
+	for i := 0; i < n; i++ {
+		start := rng.Int63n(30)
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: start,
+			End:   start + 1 + rng.Int63n(15),
+			Size:  1 + rng.Int63n(12),
+			Align: []int64{0, 0, 2, 4}[rng.Intn(4)],
+		})
+	}
+	p.Normalize()
+	return p
+}
+
+func TestBestFitProducesValidPackings(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 1+rng.Intn(30), 1<<40)
+		sol, peak := BestFitUnbounded(p)
+		q := p.Clone()
+		q.Memory = peak // tightest limit the packing fits in
+		if err := sol.Validate(q); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return sol.PeakUsage(p) == peak
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyContentionProducesValidPackings(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 1+rng.Intn(30), 1<<40)
+		sol, peak := GreedyContentionUnbounded(p)
+		q := p.Clone()
+		q.Memory = peak
+		if err := sol.Validate(q); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyBeatsBestFitOnFragmentingWorkload(t *testing.T) {
+	// Deterministic instance reproducing the qualitative gap of Figure 3:
+	// best-fit, being timing-unaware, parks a tiny long-lived buffer on top
+	// of a large dying one and then cannot reuse the freed space for the
+	// next large buffer. The contention heuristic places the long-lived
+	// buffer at the bottom instead.
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 10},  // X: big, early
+			{Start: 5, End: 100, Size: 1},  // s: tiny but long-lived
+			{Start: 10, End: 20, Size: 11}, // Y: big, arrives after X dies
+		},
+		Memory: 1 << 40,
+	}
+	p.Normalize()
+	_, bfPeak := BestFitUnbounded(p)
+	_, greedyPeak := GreedyContentionUnbounded(p)
+	if bfPeak != 22 {
+		t.Errorf("best-fit peak = %d, want 22 (fragmented)", bfPeak)
+	}
+	if greedyPeak != 12 {
+		t.Errorf("greedy peak = %d, want 12", greedyPeak)
+	}
+}
+
+func TestGreedyNoWorseThanBestFitInAggregate(t *testing.T) {
+	// Statistical version: over many random phased workloads, the
+	// contention heuristic needs no more memory than best-fit in aggregate.
+	rng := rand.New(rand.NewSource(42))
+	var greedyTotal, bfTotal float64
+	for trial := 0; trial < 40; trial++ {
+		p := &buffers.Problem{Memory: 1 << 40}
+		for phase := int64(0); phase < 8; phase++ {
+			base := phase * 10
+			for i := 0; i < 12; i++ {
+				start := base + rng.Int63n(3)
+				p.Buffers = append(p.Buffers, buffers.Buffer{
+					Start: start,
+					End:   start + 2 + rng.Int63n(6),
+					Size:  4 + rng.Int63n(60),
+				})
+			}
+		}
+		p.Normalize()
+		_, bfPeak := BestFitUnbounded(p)
+		_, greedyPeak := GreedyContentionUnbounded(p)
+		bfTotal += float64(bfPeak)
+		greedyTotal += float64(greedyPeak)
+	}
+	if greedyTotal > bfTotal*1.05 {
+		t.Errorf("greedy aggregate peak %.0f worse than best-fit %.0f", greedyTotal, bfTotal)
+	}
+}
+
+func TestAllocateEnforcesLimit(t *testing.T) {
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 4},
+			{Start: 0, End: 10, Size: 4},
+		},
+		Memory: 8,
+	}
+	p.Normalize()
+	for _, alloc := range []Allocator{BestFit{}, GreedyContention{}} {
+		sol, err := alloc.Allocate(p)
+		if err != nil {
+			t.Fatalf("%s failed on a trivially packable input: %v", alloc.Name(), err)
+		}
+		if err := sol.Validate(p); err != nil {
+			t.Fatalf("%s produced invalid packing: %v", alloc.Name(), err)
+		}
+	}
+	tight := p.Clone()
+	tight.Memory = 7
+	for _, alloc := range []Allocator{BestFit{}, GreedyContention{}} {
+		if _, err := alloc.Allocate(tight); !errors.Is(err, ErrNoFit) {
+			t.Errorf("%s: err = %v, want ErrNoFit", alloc.Name(), err)
+		}
+	}
+}
+
+func TestGreedyContentionOrdersByContentionFirst(t *testing.T) {
+	// The high-contention pair must be placed at the bottom (address 0 and
+	// just above), with the low-contention buffer stacked wherever is left.
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 20, End: 25, Size: 2}, // low contention, listed first
+			{Start: 0, End: 10, Size: 8},  // high contention
+			{Start: 0, End: 10, Size: 8},  // high contention
+		},
+		Memory: 1 << 40,
+	}
+	p.Normalize()
+	sol, peak := GreedyContentionUnbounded(p)
+	if peak != 16 {
+		t.Errorf("peak = %d, want 16", peak)
+	}
+	if sol.Offsets[0] != 0 {
+		t.Errorf("low-contention buffer at %d, want 0 (separate phase reuses bottom)", sol.Offsets[0])
+	}
+}
+
+func TestGreedyAlignmentTieBreak(t *testing.T) {
+	// Equal contention: the buffer with stricter alignment goes first.
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 4, Align: 0},
+			{Start: 0, End: 10, Size: 4, Align: 16},
+		},
+		Memory: 1 << 40,
+	}
+	p.Normalize()
+	sol, _ := GreedyContentionUnbounded(p)
+	if sol.Offsets[1] != 0 {
+		t.Errorf("aligned buffer at %d, want 0 (placed first)", sol.Offsets[1])
+	}
+	if sol.Offsets[1]%16 != 0 {
+		t.Errorf("aligned buffer misaligned at %d", sol.Offsets[1])
+	}
+}
+
+func TestMinMemoryMatchesPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, 25, 1<<40)
+	for _, pack := range []UnboundedFunc{BestFitUnbounded, GreedyContentionUnbounded} {
+		_, peak := pack(p)
+		if got := MinMemory(pack, p); got != peak {
+			t.Errorf("MinMemory = %d, want %d", got, peak)
+		}
+	}
+}
+
+func TestUsageProfile(t *testing.T) {
+	p := &buffers.Problem{
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 4, Size: 4},
+			{Start: 2, End: 6, Size: 4},
+		},
+		Memory: 16,
+	}
+	p.Normalize()
+	sol := &buffers.Solution{Offsets: []int64{0, 4}}
+	steps := UsageProfile(p, sol)
+	wantAt := map[int64]int64{0: 4, 2: 8, 3: 8, 4: 8, 5: 8}
+	for _, st := range steps {
+		for tm := st.Start; tm < st.End; tm++ {
+			if want, ok := wantAt[tm]; ok && st.Contention != want {
+				t.Errorf("usage at t=%d is %d, want %d", tm, st.Contention, want)
+			}
+		}
+	}
+	// Peak of the profile must equal PeakUsage.
+	var peak int64
+	for _, st := range steps {
+		if st.Contention > peak {
+			peak = st.Contention
+		}
+	}
+	if peak != sol.PeakUsage(p) {
+		t.Errorf("profile peak %d != PeakUsage %d", peak, sol.PeakUsage(p))
+	}
+}
+
+func TestUsageProfileMatchesPeakProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 1+rng.Intn(20), 1<<40)
+		sol, _ := GreedyContentionUnbounded(p)
+		var peak int64
+		for _, st := range UsageProfile(p, sol) {
+			if st.Contention > peak {
+				peak = st.Contention
+			}
+		}
+		return peak == sol.PeakUsage(p)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

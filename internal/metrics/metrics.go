@@ -1,0 +1,60 @@
+// Package metrics computes packing-quality measures for solved allocation
+// problems: utilisation, fragmentation, and headroom. The paper optimises
+// for allocation *time* under a fixed limit (allocation quality "does not
+// matter" on Pixel 6 as long as it fits, §2.3), but downstream users of a
+// packing — e.g. the XLA repacker deciding whether another buffer could be
+// promoted — need these numbers.
+package metrics
+
+import (
+	"telamalloc/internal/buffers"
+)
+
+// Report summarises a packing.
+type Report struct {
+	// Peak is the highest address in use at any time.
+	Peak int64
+	// ContentionPeak is the live-byte lower bound; Peak >= ContentionPeak.
+	ContentionPeak int64
+	// Headroom is Memory - Peak: bytes of guaranteed free space.
+	Headroom int64
+	// Utilization is mean(live bytes) / Memory over the time horizon.
+	Utilization float64
+	// PackingEfficiency is ContentionPeak / Peak: 1.0 means the packing
+	// wastes no vertical space at its tightest moment.
+	PackingEfficiency float64
+	// MaxFragmentation is the largest fraction of the used address range
+	// [0, Peak) that is free-but-unusable at a single time slot:
+	// (Peak - liveBytes(t)) / Peak maximised over t restricted to slots
+	// where something is live.
+	MaxFragmentation float64
+}
+
+// Compute builds the report for a complete solution of p.
+func Compute(p *buffers.Problem, sol *buffers.Solution) Report {
+	r := Report{
+		Peak:           sol.PeakUsage(p),
+		ContentionPeak: buffers.Contention(p).Peak(),
+	}
+	r.Headroom = p.Memory - r.Peak
+	if r.Peak > 0 {
+		r.PackingEfficiency = float64(r.ContentionPeak) / float64(r.Peak)
+	}
+	prof := buffers.Contention(p)
+	var weighted float64
+	var span int64
+	for _, st := range prof.Steps {
+		weighted += float64(st.Contention) * float64(st.End-st.Start)
+		span += st.End - st.Start
+		if st.Contention > 0 && r.Peak > 0 {
+			frag := float64(r.Peak-st.Contention) / float64(r.Peak)
+			if frag > r.MaxFragmentation {
+				r.MaxFragmentation = frag
+			}
+		}
+	}
+	if span > 0 && p.Memory > 0 {
+		r.Utilization = weighted / float64(span) / float64(p.Memory)
+	}
+	return r
+}

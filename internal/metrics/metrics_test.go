@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+func TestComputePerfectPacking(t *testing.T) {
+	// Two stacked buffers occupying all memory all the time.
+	p := &buffers.Problem{
+		Memory: 8,
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 4},
+			{Start: 0, End: 10, Size: 4},
+		},
+	}
+	p.Normalize()
+	sol := &buffers.Solution{Offsets: []int64{0, 4}}
+	r := Compute(p, sol)
+	if r.Peak != 8 || r.ContentionPeak != 8 || r.Headroom != 0 {
+		t.Errorf("peaks wrong: %+v", r)
+	}
+	if math.Abs(r.PackingEfficiency-1) > 1e-9 {
+		t.Errorf("PackingEfficiency = %g, want 1", r.PackingEfficiency)
+	}
+	if math.Abs(r.Utilization-1) > 1e-9 {
+		t.Errorf("Utilization = %g, want 1", r.Utilization)
+	}
+	if r.MaxFragmentation != 0 {
+		t.Errorf("MaxFragmentation = %g, want 0", r.MaxFragmentation)
+	}
+}
+
+func TestComputeFragmentedPacking(t *testing.T) {
+	// One small buffer in a big memory: low utilisation, high headroom.
+	p := &buffers.Problem{
+		Memory:  100,
+		Buffers: []buffers.Buffer{{Start: 0, End: 4, Size: 10}},
+	}
+	p.Normalize()
+	sol := &buffers.Solution{Offsets: []int64{0}}
+	r := Compute(p, sol)
+	if r.Peak != 10 || r.Headroom != 90 {
+		t.Errorf("%+v", r)
+	}
+	if math.Abs(r.Utilization-0.1) > 1e-9 {
+		t.Errorf("Utilization = %g, want 0.1", r.Utilization)
+	}
+}
+
+func TestComputeDetectsWaste(t *testing.T) {
+	// A packing with a hole: buffer at 0 and buffer at 8 (hole 4..8) while
+	// both are live. Efficiency = contention/peak = 8/12.
+	p := &buffers.Problem{
+		Memory: 16,
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 10, Size: 4},
+			{Start: 0, End: 10, Size: 4},
+		},
+	}
+	p.Normalize()
+	sol := &buffers.Solution{Offsets: []int64{0, 8}}
+	r := Compute(p, sol)
+	if r.Peak != 12 {
+		t.Fatalf("Peak = %d", r.Peak)
+	}
+	if math.Abs(r.PackingEfficiency-8.0/12) > 1e-9 {
+		t.Errorf("PackingEfficiency = %g, want %g", r.PackingEfficiency, 8.0/12)
+	}
+	if math.Abs(r.MaxFragmentation-4.0/12) > 1e-9 {
+		t.Errorf("MaxFragmentation = %g, want %g", r.MaxFragmentation, 4.0/12)
+	}
+}
+
+func TestComputeOnRealModel(t *testing.T) {
+	p := workload.GenFPN(1)
+	p.Memory = buffers.Contention(p).Peak() * 110 / 100
+	res := core.Solve(p, core.Config{MaxSteps: 300000})
+	if res.Status != telamon.Solved {
+		t.Fatal("unsolved")
+	}
+	r := Compute(p, res.Solution)
+	if r.Peak < r.ContentionPeak {
+		t.Errorf("peak %d below contention peak %d (impossible)", r.Peak, r.ContentionPeak)
+	}
+	if r.PackingEfficiency <= 0 || r.PackingEfficiency > 1 {
+		t.Errorf("efficiency %g out of (0,1]", r.PackingEfficiency)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Errorf("utilization %g out of (0,1]", r.Utilization)
+	}
+	if r.Headroom < 0 {
+		t.Errorf("negative headroom %d", r.Headroom)
+	}
+}

@@ -1,0 +1,74 @@
+package mlpolicy
+
+import (
+	"sort"
+
+	"telamalloc/internal/telamon"
+)
+
+// candidateTargets builds the set of candidate backtrack targets for a
+// major backtrack, following §6.2:
+//
+//   - every decision level associated with the conflict reason that made
+//     the CP solver fail, except the deepest one (that one is where a minor
+//     backtrack would have landed anyway);
+//   - for each exponentially growing range of decision levels (0-4, 5-8,
+//     9-16, 17-32, ...) that has no candidate yet, the decision point at
+//     the top of that range, so the search cannot get stuck when all
+//     reasons cluster in one part of the tree.
+//
+// Returned indices are sorted ascending (shallowest first) and are all
+// strictly below the current top of stack.
+func candidateTargets(st *telamon.State, dp *telamon.DecisionPoint) []int {
+	topIdx := len(st.Stack) - 1
+	if topIdx <= 0 {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	add := func(lvl int) {
+		if lvl >= 0 && lvl < topIdx && !seen[lvl] {
+			seen[lvl] = true
+			out = append(out, lvl)
+		}
+	}
+	if dp.LastConflict != nil {
+		levels := make([]int, 0, len(dp.LastConflict.Placements))
+		for _, buf := range dp.LastConflict.Placements {
+			if lvl := st.PlacedLevel[buf]; lvl >= 0 {
+				levels = append(levels, lvl)
+			}
+		}
+		sort.Ints(levels)
+		// Drop the deepest reason level: backtracking there is what a minor
+		// backtrack already does.
+		if len(levels) > 0 {
+			levels = levels[:len(levels)-1]
+		}
+		for _, lvl := range levels {
+			add(lvl)
+		}
+	}
+	// Exponential coverage: ranges [0,4], [5,8], [9,16], [17,32], ...
+	lo, hi := 0, 4
+	for lo < topIdx {
+		rangeHi := hi
+		if rangeHi >= topIdx {
+			rangeHi = topIdx - 1
+		}
+		covered := false
+		for _, lvl := range out {
+			if lvl >= lo && lvl <= rangeHi {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			add(rangeHi)
+		}
+		lo = hi + 1
+		hi *= 2
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,79 @@
+package mlpolicy
+
+import (
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/telamon"
+)
+
+// ScoreThreshold is the minimum (unweighted) model score required to act on
+// a prediction; below it the Chooser abstains and TelaMalloc falls back to
+// its default strategy (§6.5: "an overly aggressive backtrack has the
+// potential to cause a lot more damage than not backtracking far enough").
+const ScoreThreshold = 4.0
+
+// Chooser plugs a trained backtracking model into TelaMalloc. It implements
+// core.BacktrackChooser. A Chooser is bound to one problem (one search) and
+// is not safe for concurrent use.
+type Chooser struct {
+	forest *gbt.Forest
+	ex     *extractor
+	// Invocations counts Choose calls; Decisions counts calls where the
+	// model's score cleared the threshold.
+	Invocations int
+	Decisions   int
+
+	featBuf  [][]float64
+	scoreBuf []float64
+}
+
+// NewChooser binds a trained forest to the given problem.
+func NewChooser(forest *gbt.Forest, p *buffers.Problem) *Chooser {
+	return &Chooser{forest: forest, ex: newExtractor(p)}
+}
+
+// Choose implements core.BacktrackChooser: build the candidate target set,
+// score each candidate with the model (as a batch, §6.5), weight by depth
+// to discourage very far backtracks, and return the winner if its raw score
+// clears the threshold.
+func (c *Chooser) Choose(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	c.Invocations++
+	c.ex.observeConflict(dp)
+	cands := candidateTargets(st, dp)
+	if len(cands) == 0 {
+		return 0, false
+	}
+	curPhase := c.ex.currentPhase(st)
+	c.featBuf = c.featBuf[:0]
+	for range cands {
+		c.featBuf = append(c.featBuf, make([]float64, NumFeatures))
+	}
+	for i, lvl := range cands {
+		c.ex.features(st, lvl, curPhase, c.featBuf[i])
+	}
+	if cap(c.scoreBuf) < len(cands) {
+		c.scoreBuf = make([]float64, len(cands))
+	}
+	scores := c.scoreBuf[:len(cands)]
+	c.forest.PredictBatch(c.featBuf, scores)
+
+	depth := float64(len(st.Stack))
+	bestIdx := -1
+	bestWeighted := 0.0
+	for i, lvl := range cands {
+		// Depth weighting: deeper (nearer) targets keep more of the score.
+		w := 0.5 + 0.5*float64(lvl+1)/depth
+		if ws := scores[i] * w; bestIdx < 0 || ws > bestWeighted {
+			bestIdx, bestWeighted = i, ws
+		}
+	}
+	if bestIdx < 0 || scores[bestIdx] < ScoreThreshold {
+		return 0, false
+	}
+	c.Decisions++
+	target := cands[bestIdx]
+	if buf := st.Stack[target].Placed; buf >= 0 {
+		c.ex.observeChoice(buf)
+	}
+	return target, true
+}

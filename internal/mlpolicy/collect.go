@@ -1,0 +1,240 @@
+package mlpolicy
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/telamon"
+)
+
+// Collector implements core.BacktrackChooser in the special training mode of
+// §6.5 (Figure 11): it runs an ILP oracle alongside the normal search, uses
+// the oracle's backtrack decision with 50% probability (randomising the path
+// so the training data covers more of the tree), records the candidate
+// targets and their features at every major backtrack, and — once the search
+// has found a solution — turns them into (features, score) samples using the
+// paper's score function over the best and minimum backtrack targets.
+type Collector struct {
+	prob   *buffers.Problem
+	ov     *buffers.Overlaps
+	ex     *extractor
+	rng    *rand.Rand
+	oracle ilp.Options
+
+	events []event
+	// solvable caches oracle verdicts keyed by a hash of the fixed prefix.
+	solvable map[uint64]bool
+	// OracleCalls counts ILP probes (for reporting).
+	OracleCalls int
+	// MaxEvents caps recorded major backtracks per search (0 = 512).
+	MaxEvents int
+}
+
+type event struct {
+	cands []int
+	feats [][]float64
+	// path holds the committed (buffer, position) pairs, stack order.
+	path []placement
+	// minTarget is the deepest solvable resume index (M in §6.3).
+	minTarget int
+}
+
+type placement struct {
+	buf int
+	pos int64
+}
+
+// NewCollector builds a collector for one problem. oracle bounds each ILP
+// probe; seed drives the 50/50 interleaving.
+func NewCollector(p *buffers.Problem, seed int64, oracle ilp.Options) *Collector {
+	return &Collector{
+		prob:     p,
+		ov:       buffers.ComputeOverlaps(p),
+		ex:       newExtractor(p),
+		rng:      rand.New(rand.NewSource(seed)),
+		oracle:   oracle,
+		solvable: make(map[uint64]bool),
+	}
+}
+
+func (c *Collector) maxEvents() int {
+	if c.MaxEvents == 0 {
+		return 96
+	}
+	return c.MaxEvents
+}
+
+// Choose implements core.BacktrackChooser. It always records the event (so
+// every major backtrack yields samples), then flips a coin between the
+// oracle's minimum backtrack target and the default strategy.
+func (c *Collector) Choose(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	c.ex.observeConflict(dp)
+	if len(c.events) >= c.maxEvents() {
+		// Recording budget exhausted: stop paying for oracle probes and let
+		// the search continue with its default strategy.
+		return 0, false
+	}
+	cands := candidateTargets(st, dp)
+	if len(cands) == 0 {
+		return 0, false
+	}
+	path := snapshotPath(st)
+	minTarget := c.deepestSolvable(path)
+
+	curPhase := c.ex.currentPhase(st)
+	feats := make([][]float64, len(cands))
+	for i, lvl := range cands {
+		feats[i] = make([]float64, NumFeatures)
+		c.ex.features(st, lvl, curPhase, feats[i])
+	}
+	c.events = append(c.events, event{
+		cands:     cands,
+		feats:     feats,
+		path:      path,
+		minTarget: minTarget,
+	})
+
+	if c.rng.Intn(2) == 0 && minTarget >= 0 {
+		// Oracle path: resume at the deepest candidate at or above (i.e.,
+		// not deeper than) the minimum backtrack target.
+		best := -1
+		for _, lvl := range cands {
+			if lvl <= minTarget && lvl > best {
+				best = lvl
+			}
+		}
+		if best >= 0 {
+			if buf := st.Stack[best].Placed; buf >= 0 {
+				c.ex.observeChoice(buf)
+			}
+			return best, true
+		}
+	}
+	return 0, false
+}
+
+// snapshotPath captures the committed placements in stack order.
+func snapshotPath(st *telamon.State) []placement {
+	var out []placement
+	for _, dp := range st.Stack {
+		if dp.Placed >= 0 {
+			out = append(out, placement{dp.Placed, dp.Pos})
+		}
+	}
+	return out
+}
+
+// probeLimit caps oracle probes per major backtrack so that an instance
+// whose prefixes all exhaust the oracle budget cannot stall collection.
+const probeLimit = 24
+
+// deepestSolvable finds the largest k such that the problem with the first
+// k path placements fixed is still provably solvable within the oracle
+// budget. Returns the resume index (k): backtracking to index k keeps
+// placements 0..k-1. Returns -1 when nothing could be proven.
+//
+// The scan runs linearly from the deepest prefix down, exactly as §6.3
+// describes ("we backtrack one step and try again"): deep prefixes pin most
+// variables and are *cheap* for the oracle, while shallow prefixes can
+// exhaust the budget even when solvable — a binary search probing shallow
+// midpoints would therefore discard most events.
+func (c *Collector) deepestSolvable(path []placement) int {
+	probes := 0
+	for k := len(path); k >= 0; k-- {
+		if probes >= probeLimit {
+			return -1
+		}
+		probes++
+		if c.prefixSolvable(path, k) {
+			return k
+		}
+	}
+	return -1
+}
+
+// prefixSolvable asks the ILP oracle whether the problem with the first k
+// placements fixed is solvable, with caching ("for higher efficiency, we
+// cache results for decision points that we have already visited", §6.3).
+// Budget exhaustion counts as unsolvable (conservative).
+func (c *Collector) prefixSolvable(path []placement, k int) bool {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for _, pl := range path[:k] {
+		put(int64(pl.buf))
+		put(pl.pos)
+	}
+	key := h.Sum64()
+	if v, ok := c.solvable[key]; ok {
+		return v
+	}
+	fixed := make([]int64, len(c.prob.Buffers))
+	for i := range fixed {
+		fixed[i] = -1
+	}
+	for _, pl := range path[:k] {
+		fixed[pl.buf] = pl.pos
+	}
+	c.OracleCalls++
+	res := ilp.SolveWithFixed(c.prob, c.ov, fixed, c.oracle)
+	v := res.Status == ilp.Solved
+	c.solvable[key] = v
+	return v
+}
+
+// Label converts the recorded events into training samples, given the final
+// solution the search returned (nil when the search failed; no samples are
+// emitted then, mirroring the paper's use of solved runs for labels).
+//
+// For each event, the best backtrack target B is the deepest point whose
+// prefix matches the final solution; the minimum target M is the deepest
+// solvable point recorded at collection time. Scores follow §6.4:
+//
+//	score(x) = 0                     if x < B or x > M
+//	         = 10 - 5*(x-B)/(M-B+1) otherwise
+func (c *Collector) Label(sol *buffers.Solution) gbt.Dataset {
+	var ds gbt.Dataset
+	if sol == nil {
+		return ds
+	}
+	for _, ev := range c.events {
+		if ev.minTarget < 0 {
+			continue
+		}
+		best := 0
+		for _, pl := range ev.path {
+			if sol.Offsets[pl.buf] == pl.pos {
+				best++
+			} else {
+				break
+			}
+		}
+		if best > ev.minTarget {
+			best = ev.minTarget
+		}
+		for i, lvl := range ev.cands {
+			ds.X = append(ds.X, ev.feats[i])
+			ds.Y = append(ds.Y, Score(lvl, best, ev.minTarget))
+		}
+	}
+	return ds
+}
+
+// Score is the paper's empirically chosen label function (§6.4).
+func Score(x, best, min int) float64 {
+	if x < best || x > min {
+		return 0
+	}
+	return 10 - 5*float64(x-best)/float64(min-best+1)
+}
+
+// Events reports how many major backtracks were recorded.
+func (c *Collector) Events() int { return len(c.events) }

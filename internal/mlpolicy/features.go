@@ -1,0 +1,142 @@
+// Package mlpolicy implements the learned backtracking of §6 of the paper:
+// at a major backtrack, a gradient-boosted-tree model ranks a small set of
+// candidate backtrack targets; training labels come from imitation learning
+// against the exact (ILP) solver.
+//
+// The package provides three pieces:
+//
+//   - feature extraction for candidate backtrack targets (§6.4),
+//   - a Collector that runs inside a TelaMalloc search, interleaves oracle
+//     and default decisions, and emits labelled samples (§6.3/§6.5),
+//   - a Chooser that plugs a trained model into TelaMalloc via the
+//     core.BacktrackChooser hook.
+package mlpolicy
+
+import (
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/phases"
+	"telamalloc/internal/telamon"
+)
+
+// NumFeatures is the width of a candidate-target feature vector.
+const NumFeatures = 9
+
+// Feature indices, in the order §6.4 lists them.
+const (
+	FeatSize            = iota // block size / total memory
+	FeatLifetime               // block lifetime / time horizon
+	FeatContention             // block contention / total memory
+	FeatDecisionLevel          // decision level of the placement / current depth
+	FeatReasonCount            // times the block appeared in a major-backtrack reason
+	FeatBacktrackTo            // times the search backtracked to this point
+	FeatSubtreeBacktrks        // backtracks within the subtree rooted here
+	FeatSameRegion             // 1 if the block shares the current phase
+	FeatTotalBacktracks        // total backtracks so far (scaled)
+)
+
+// FeatureNames labels the features for the importance report (Figure 17).
+var FeatureNames = [NumFeatures]string{
+	"size",
+	"lifetime",
+	"contention",
+	"decision-level",
+	"reason-count",
+	"backtracks-to-point",
+	"subtree-backtracks",
+	"same-region",
+	"total-backtracks",
+}
+
+// extractor computes features for backtrack candidates of one problem. It
+// owns the per-search counters the features reference.
+type extractor struct {
+	prob       *buffers.Problem
+	contention []int64
+	horizon    int64
+	groups     *phases.Assignment
+	// reasonCount[buf] counts appearances in major-backtrack reasons.
+	reasonCount map[int]int
+	// backtrackTo[buf] counts backtracks that resumed at buf's placement.
+	backtrackTo map[int]int
+}
+
+func newExtractor(p *buffers.Problem) *extractor {
+	lo, hi := p.TimeHorizon()
+	horizon := hi - lo
+	if horizon <= 0 {
+		horizon = 1
+	}
+	return &extractor{
+		prob:        p,
+		contention:  buffers.BufferContention(p),
+		horizon:     horizon,
+		groups:      phases.Group(p),
+		reasonCount: make(map[int]int),
+		backtrackTo: make(map[int]int),
+	}
+}
+
+// observeConflict folds a major backtrack's conflict reason into the
+// per-buffer counters.
+func (e *extractor) observeConflict(dp *telamon.DecisionPoint) {
+	if dp.LastConflict == nil {
+		return
+	}
+	for _, buf := range dp.LastConflict.Placements {
+		e.reasonCount[buf]++
+	}
+}
+
+// observeChoice records that the search backtracked to the point holding buf.
+func (e *extractor) observeChoice(buf int) {
+	e.backtrackTo[buf]++
+}
+
+// features fills x with the feature vector for the candidate target at
+// stack index lvl. curPhase is the phase of the most recently placed block
+// (-1 when none).
+func (e *extractor) features(st *telamon.State, lvl int, curPhase int, x []float64) {
+	dp := st.Stack[lvl]
+	buf := dp.Placed
+	if buf < 0 {
+		// An uncommitted point (should not normally be a candidate); emit
+		// neutral block features.
+		for i := range x {
+			x[i] = 0
+		}
+		x[FeatDecisionLevel] = float64(lvl+1) / float64(len(st.Stack))
+		x[FeatSubtreeBacktrks] = scaleCount(dp.SubtreeBacktracks)
+		x[FeatTotalBacktracks] = scaleCount(int(st.Stats.Backtracks()))
+		return
+	}
+	b := e.prob.Buffers[buf]
+	x[FeatSize] = float64(b.Size) / float64(e.prob.Memory)
+	x[FeatLifetime] = float64(b.Lifetime()) / float64(e.horizon)
+	x[FeatContention] = float64(e.contention[buf]) / float64(e.prob.Memory)
+	x[FeatDecisionLevel] = float64(lvl+1) / float64(len(st.Stack))
+	x[FeatReasonCount] = scaleCount(e.reasonCount[buf])
+	x[FeatBacktrackTo] = scaleCount(e.backtrackTo[buf])
+	x[FeatSubtreeBacktrks] = scaleCount(dp.SubtreeBacktracks)
+	if curPhase >= 0 && e.groups.PhaseOf[buf] == curPhase {
+		x[FeatSameRegion] = 1
+	} else {
+		x[FeatSameRegion] = 0
+	}
+	x[FeatTotalBacktracks] = scaleCount(int(st.Stats.Backtracks()))
+}
+
+// scaleCount compresses unbounded counters into [0, 1) so tree splits stay
+// meaningful across problem sizes.
+func scaleCount(c int) float64 {
+	return float64(c) / float64(c+32)
+}
+
+// currentPhase returns the phase of the most recent committed placement.
+func (e *extractor) currentPhase(st *telamon.State) int {
+	for i := len(st.Stack) - 1; i >= 0; i-- {
+		if b := st.Stack[i].Placed; b >= 0 {
+			return e.groups.PhaseOf[b]
+		}
+	}
+	return -1
+}

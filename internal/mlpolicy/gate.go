@@ -1,0 +1,173 @@
+package mlpolicy
+
+// The step gate implements the extension §8.3 of the paper sketches:
+//
+//	"we could have a single, shallow decision tree that executes at every
+//	 step of the search and identifies whether to run a more expensive
+//	 model that considers different blocks, or run a more expensive
+//	 heuristic. Such a decision tree may execute in tens of CPU cycles and
+//	 could plausibly run at every step."
+//
+// Here the cheap path is TelaMalloc's strict candidate set (the three
+// heuristic picks per phase) and the expensive path appends every unplaced
+// buffer as fallback candidates. The gate is trained to predict, from a
+// handful of cheap state features, whether the upcoming decision point is
+// "risky" (likely to exhaust and backtrack) — only then is the expensive
+// path worth its extra scanning and queue churn.
+
+import (
+	"math"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/telamon"
+)
+
+// GateFeatures is the width of the step-gate feature vector. The features
+// are deliberately cheap: everything is O(1) from search state.
+const GateFeatures = 5
+
+// Gate feature indices.
+const (
+	GateDepthFrac     = iota // placed buffers / total buffers
+	GateRecentFailure        // backtracks / steps so far
+	GateMemoryFill           // bytes placed / memory
+	GateTightness            // contention peak / memory (per problem)
+	GateStackBack            // subtree backtracks at the current top (scaled)
+)
+
+// StepGate decides per decision point whether to use the expensive
+// candidate path. It implements core.CandidateGate.
+type StepGate struct {
+	tree *gbt.Forest
+	prob *buffers.Problem
+	// tightness is precomputed per problem.
+	tightness float64
+	// placedBytes tracks the bytes currently placed, updated lazily.
+	Threshold float64
+	// Invocations and ExpensiveTaken count decisions for reporting.
+	Invocations    int
+	ExpensiveTaken int
+}
+
+// NewStepGate binds a trained gate tree to a problem. threshold is the
+// predicted-risk level above which the expensive path is chosen; zero
+// selects 0.5.
+func NewStepGate(tree *gbt.Forest, p *buffers.Problem, threshold float64) *StepGate {
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	peak := buffers.Contention(p).Peak()
+	return &StepGate{
+		tree:      tree,
+		prob:      p,
+		tightness: float64(peak) / float64(p.Memory),
+		Threshold: threshold,
+	}
+}
+
+// Expensive implements core.CandidateGate.
+func (g *StepGate) Expensive(st *telamon.State) bool {
+	g.Invocations++
+	var x [GateFeatures]float64
+	gateFeatures(st, g.prob, g.tightness, x[:])
+	if g.tree.Predict(x[:]) >= g.Threshold {
+		g.ExpensiveTaken++
+		return true
+	}
+	return false
+}
+
+var _ core.CandidateGate = (*StepGate)(nil)
+
+// gateFeatures fills x with the cheap state features.
+func gateFeatures(st *telamon.State, p *buffers.Problem, tightness float64, x []float64) {
+	n := len(p.Buffers)
+	placed := 0
+	var placedBytes int64
+	for i := 0; i < n; i++ {
+		if st.Model.Placed(i) {
+			placed++
+			placedBytes += p.Buffers[i].Size
+		}
+	}
+	x[GateDepthFrac] = float64(placed) / float64(n)
+	steps := st.Stats.Steps
+	if steps == 0 {
+		steps = 1
+	}
+	x[GateRecentFailure] = float64(st.Stats.Backtracks()) / float64(steps)
+	x[GateMemoryFill] = math.Min(1, float64(placedBytes)/float64(p.Memory))
+	x[GateTightness] = tightness
+	if len(st.Stack) > 0 {
+		x[GateStackBack] = scaleCount(st.Stack[len(st.Stack)-1].SubtreeBacktracks)
+	}
+}
+
+// gateCollector gathers (features, risk-label) samples while a strict-mode
+// search runs: each decision point's features are captured when it opens,
+// and the label is whether that decision point ever majorly backtracked.
+type gateCollector struct {
+	prob      *buffers.Problem
+	tightness float64
+	// open maps a decision point to its sample index.
+	open    map[*telamon.DecisionPoint]int
+	samples gbt.Dataset
+}
+
+// GateTrainingRun runs one strict-mode TelaMalloc search on p and returns
+// step-gate training samples: the label is 1 when the decision point later
+// exhausted its candidates (so the expensive path would have been useful).
+func GateTrainingRun(p *buffers.Problem, maxSteps int64) gbt.Dataset {
+	peak := buffers.Contention(p).Peak()
+	gc := &gateCollector{
+		prob:      p,
+		tightness: float64(peak) / float64(p.Memory),
+		open:      make(map[*telamon.DecisionPoint]int),
+	}
+	core.Solve(p, core.Config{
+		MaxSteps:             maxSteps,
+		DisableSplit:         true,
+		NoFallbackCandidates: true,
+		Chooser:              gc,
+	})
+	return gc.samples
+}
+
+// Choose implements core.BacktrackChooser but never overrides the default:
+// it only observes major backtracks to label the exhausted decision point.
+func (gc *gateCollector) Choose(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	// Record features for any newly seen decision points on the stack.
+	for _, open := range st.Stack {
+		if _, seen := gc.open[open]; !seen {
+			x := make([]float64, GateFeatures)
+			gateFeatures(st, gc.prob, gc.tightness, x)
+			gc.open[open] = len(gc.samples.X)
+			gc.samples.X = append(gc.samples.X, x)
+			gc.samples.Y = append(gc.samples.Y, 0)
+		}
+	}
+	// The exhausted point is risky: label it 1.
+	if idx, seen := gc.open[dp]; seen {
+		gc.samples.Y[idx] = 1
+	} else {
+		x := make([]float64, GateFeatures)
+		gateFeatures(st, gc.prob, gc.tightness, x)
+		gc.samples.X = append(gc.samples.X, x)
+		gc.samples.Y = append(gc.samples.Y, 1)
+	}
+	return 0, false
+}
+
+// TrainGate fits the shallow risk tree of §8.3 (a handful of stumps rather
+// than a full forest, keeping inference in the tens of nanoseconds).
+func TrainGate(ds gbt.Dataset, seed int64) (*gbt.Forest, error) {
+	return gbt.Train(ds, gbt.Options{
+		Trees:        8,
+		MaxDepth:     2,
+		LearningRate: 0.5,
+		MinLeaf:      4,
+		Seed:         seed,
+	})
+}

@@ -1,0 +1,128 @@
+package mlpolicy
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/telamon"
+	"telamalloc/internal/workload"
+)
+
+func TestGateTrainingRunProducesLabelledSamples(t *testing.T) {
+	var ds gbt.Dataset
+	for seed := int64(0); seed < 10 && len(ds.X) == 0; seed++ {
+		p := tightProblem(seed, 26, 101)
+		part := GateTrainingRun(p, 40000)
+		ds.X = append(ds.X, part.X...)
+		ds.Y = append(ds.Y, part.Y...)
+	}
+	if len(ds.X) == 0 {
+		t.Skip("no decision points recorded")
+	}
+	pos, neg := 0, 0
+	for i, x := range ds.X {
+		if len(x) != GateFeatures {
+			t.Fatalf("sample %d has width %d", i, len(x))
+		}
+		for f, v := range x {
+			if v < 0 || v > 1.0001 {
+				t.Errorf("gate feature %d = %g out of [0,1]", f, v)
+			}
+		}
+		if ds.Y[i] == 1 {
+			pos++
+		} else if ds.Y[i] == 0 {
+			neg++
+		} else {
+			t.Fatalf("non-binary label %g", ds.Y[i])
+		}
+	}
+	t.Logf("samples: %d risky, %d safe", pos, neg)
+	if neg == 0 {
+		t.Error("every decision point labelled risky — labels are degenerate")
+	}
+}
+
+func TestGateEndToEnd(t *testing.T) {
+	// Collect, train, and use the gate; the gated search must stay valid
+	// and the gate must actually make decisions.
+	var ds gbt.Dataset
+	for seed := int64(0); seed < 12; seed++ {
+		p := tightProblem(seed, 26, 101)
+		part := GateTrainingRun(p, 40000)
+		ds.X = append(ds.X, part.X...)
+		ds.Y = append(ds.Y, part.Y...)
+	}
+	if len(ds.X) < 10 {
+		t.Skip("not enough samples")
+	}
+	tree, err := TrainGate(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solved := 0
+	for seed := int64(50); seed < 56; seed++ {
+		p := tightProblem(seed, 26, 102)
+		gate := NewStepGate(tree, p, 0)
+		res := core.Solve(p, core.Config{MaxSteps: 60000, DisableSplit: true, Gate: gate})
+		if gate.Invocations == 0 {
+			t.Error("gate never consulted")
+		}
+		if res.Status == telamon.Solved {
+			solved++
+			if err := res.Solution.Validate(p); err != nil {
+				t.Fatalf("gated search produced invalid solution: %v", err)
+			}
+		}
+	}
+	t.Logf("gated search solved %d/6", solved)
+}
+
+func TestGateThresholdExtremes(t *testing.T) {
+	// A constant-1 "tree" forces the expensive path; constant-0 forces the
+	// cheap path. Both must be consistent with the explicit configs.
+	always := constForest(1)
+	never := constForest(0)
+	p := tightProblem(3, 24, 101)
+
+	gateOn := NewStepGate(always, p, 0.5)
+	resOn := core.Solve(p, core.Config{MaxSteps: 60000, DisableSplit: true, Gate: gateOn})
+	resExpensive := core.Solve(p, core.Config{MaxSteps: 60000, DisableSplit: true})
+	if resOn.Status != resExpensive.Status || resOn.Stats.Steps != resExpensive.Stats.Steps {
+		t.Errorf("always-expensive gate differs from default: %+v vs %+v", resOn.Stats, resExpensive.Stats)
+	}
+	if gateOn.ExpensiveTaken != gateOn.Invocations {
+		t.Errorf("always-gate skipped expensive path %d/%d", gateOn.ExpensiveTaken, gateOn.Invocations)
+	}
+
+	gateOff := NewStepGate(never, p, 0.5)
+	resOff := core.Solve(p, core.Config{MaxSteps: 60000, DisableSplit: true, Gate: gateOff})
+	resStrict := core.Solve(p, core.Config{MaxSteps: 60000, DisableSplit: true, NoFallbackCandidates: true})
+	if resOff.Status != resStrict.Status || resOff.Stats.Steps != resStrict.Stats.Steps {
+		t.Errorf("never-expensive gate differs from strict mode: %+v vs %+v", resOff.Stats, resStrict.Stats)
+	}
+	if gateOff.ExpensiveTaken != 0 {
+		t.Errorf("never-gate took the expensive path %d times", gateOff.ExpensiveTaken)
+	}
+}
+
+// constForest builds a forest predicting a constant.
+func constForest(v float64) *gbt.Forest {
+	return &gbt.Forest{Base: v, LearningRate: 0.1, NumFeatures: GateFeatures}
+}
+
+func TestGateOnWorkloadModel(t *testing.T) {
+	// Smoke: the gate must work on a real model proxy too.
+	p := workload.GenOpenPose(1)
+	p.Memory = buffers.Contention(p).Peak() * 105 / 100
+	tree := constForest(1)
+	gate := NewStepGate(tree, p, 0.5)
+	res := core.Solve(p, core.Config{MaxSteps: 200000, DisableSplit: true, Gate: gate})
+	if res.Status == telamon.Solved {
+		if err := res.Solution.Validate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package mlpolicy
+
+import (
+	"math/rand"
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/telamon"
+)
+
+// tightProblem builds a random instance at the given percentage of its
+// contention peak — tight enough to force backtracking.
+func tightProblem(seed int64, n int, ratioPct int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{}
+	for i := 0; i < n; i++ {
+		start := rng.Int63n(20)
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: start,
+			End:   start + 1 + rng.Int63n(12),
+			Size:  1 + rng.Int63n(10),
+		})
+	}
+	p.Normalize()
+	p.Memory = buffers.Contention(p).Peak() * ratioPct / 100
+	return p
+}
+
+func TestScoreFunction(t *testing.T) {
+	// §6.4's formula with B=2, M=5.
+	cases := []struct {
+		x    int
+		want float64
+	}{
+		{1, 0},          // too far
+		{6, 0},          // not far enough
+		{2, 10},         // best target
+		{3, 10 - 5.0/4}, // linearly decreasing
+		{5, 10 - 15.0/4},
+	}
+	for _, c := range cases {
+		if got := Score(c.x, 2, 5); got != c.want {
+			t.Errorf("Score(%d) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	// Degenerate B == M: the single valid point scores 10.
+	if got := Score(3, 3, 3); got != 10 {
+		t.Errorf("Score(3,3,3) = %g, want 10", got)
+	}
+}
+
+func TestCandidateTargetsProperties(t *testing.T) {
+	// Run searches over tight instances; every candidate set produced must
+	// be sorted, in range, and non-empty whenever the stack is deep.
+	probe := probePolicyChooser{t: t}
+	for seed := int64(0); seed < 6; seed++ {
+		p := tightProblem(seed, 25, 102)
+		core.Solve(p, core.Config{MaxSteps: 20000, Chooser: &probe, DisableSplit: true})
+	}
+	if probe.calls == 0 {
+		t.Skip("no major backtracks occurred; instances too easy")
+	}
+}
+
+type probePolicyChooser struct {
+	t     *testing.T
+	calls int
+}
+
+func (pc *probePolicyChooser) Choose(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	pc.calls++
+	cands := candidateTargets(st, dp)
+	top := len(st.Stack) - 1
+	prev := -1
+	for _, lvl := range cands {
+		if lvl <= prev {
+			pc.t.Errorf("candidates not strictly ascending: %v", cands)
+		}
+		if lvl < 0 || lvl >= top {
+			pc.t.Errorf("candidate %d out of range [0,%d)", lvl, top)
+		}
+		prev = lvl
+	}
+	if top > 1 && len(cands) == 0 {
+		pc.t.Errorf("no candidates despite depth %d", top+1)
+	}
+	// Exponential coverage: there must be a candidate at or below level 4.
+	if len(cands) > 0 && cands[0] > 4 {
+		pc.t.Errorf("lowest candidate %d > 4: exponential ranges missing", cands[0])
+	}
+	return 0, false
+}
+
+func TestFeaturesAreNormalized(t *testing.T) {
+	probe := &featureProbe{t: t}
+	for seed := int64(0); seed < 6; seed++ {
+		p := tightProblem(seed, 25, 102)
+		probe.ex = newExtractor(p)
+		core.Solve(p, core.Config{MaxSteps: 20000, Chooser: probe, DisableSplit: true})
+	}
+	if probe.calls == 0 {
+		t.Skip("no major backtracks")
+	}
+}
+
+type featureProbe struct {
+	t     *testing.T
+	ex    *extractor
+	calls int
+}
+
+func (fp *featureProbe) Choose(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
+	fp.calls++
+	fp.ex.observeConflict(dp)
+	cur := fp.ex.currentPhase(st)
+	x := make([]float64, NumFeatures)
+	for _, lvl := range candidateTargets(st, dp) {
+		fp.ex.features(st, lvl, cur, x)
+		for i, v := range x {
+			if v < 0 || v > 1.0001 {
+				fp.t.Errorf("feature %s = %g out of [0,1]", FeatureNames[i], v)
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestCollectorProducesLabelledData(t *testing.T) {
+	var ds gbt.Dataset
+	for seed := int64(0); seed < 12 && len(ds.X) == 0; seed++ {
+		p := tightProblem(seed, 28, 102)
+		ds = TrainingRun(p, seed, 60000, ilp.Options{MaxSteps: 30000})
+	}
+	if len(ds.X) == 0 {
+		t.Skip("no instance produced labelled events (all too easy or too hard)")
+	}
+	if len(ds.X) != len(ds.Y) {
+		t.Fatalf("ragged dataset: %d vs %d", len(ds.X), len(ds.Y))
+	}
+	for i, x := range ds.X {
+		if len(x) != NumFeatures {
+			t.Fatalf("sample %d has width %d", i, len(x))
+		}
+		if ds.Y[i] < 0 || ds.Y[i] > 10 {
+			t.Errorf("score %g outside [0,10]", ds.Y[i])
+		}
+	}
+}
+
+func TestCollectDatasetAndTrainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training end-to-end is slow")
+	}
+	var problems []*buffers.Problem
+	for seed := int64(0); seed < 10; seed++ {
+		problems = append(problems, tightProblem(seed, 26, 100))
+	}
+	ds := CollectDataset(problems, []int{100, 104, 112}, 1, 60000, ilp.Options{MaxSteps: 30000})
+	if len(ds.X) < 10 {
+		t.Skipf("only %d samples collected", len(ds.X))
+	}
+	forest, err := TrainModel(ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trained model must plug into TelaMalloc and not break it: same
+	// instances must still be solved with the chooser active.
+	solvedPlain, solvedML := 0, 0
+	for seed := int64(20); seed < 30; seed++ {
+		p := tightProblem(seed, 26, 103)
+		plain := core.Solve(p, core.Config{MaxSteps: 60000})
+		ch := NewChooser(forest, p)
+		ml := core.Solve(p, core.Config{MaxSteps: 60000, Chooser: ch, DisableSplit: true})
+		if plain.Status == telamon.Solved {
+			solvedPlain++
+		}
+		if ml.Status == telamon.Solved {
+			solvedML++
+			if err := ml.Solution.Validate(p); err != nil {
+				t.Fatalf("ML-guided solution invalid: %v", err)
+			}
+		}
+	}
+	t.Logf("solved plain=%d ml=%d", solvedPlain, solvedML)
+	if solvedML < solvedPlain-3 {
+		t.Errorf("ML chooser significantly degraded solving: %d vs %d", solvedML, solvedPlain)
+	}
+}
+
+func TestChooserAbstainsWithLowScores(t *testing.T) {
+	// A forest trained on constant zeros scores every candidate 0 — below
+	// the threshold — so the chooser must always abstain.
+	ds := gbt.Dataset{}
+	for i := 0; i < 64; i++ {
+		x := make([]float64, NumFeatures)
+		x[0] = float64(i) / 64
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, 0)
+	}
+	forest, err := gbt.Train(ds, gbt.Options{Trees: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tightProblem(3, 24, 102)
+	ch := NewChooser(forest, p)
+	core.Solve(p, core.Config{MaxSteps: 20000, Chooser: ch, DisableSplit: true})
+	if ch.Decisions != 0 {
+		t.Errorf("chooser acted %d times despite zero scores", ch.Decisions)
+	}
+}
+
+func TestDeepestSolvableMonotonicity(t *testing.T) {
+	// Manually validate the oracle binary search on a crafted path.
+	p := &buffers.Problem{Memory: 8}
+	for i := 0; i < 3; i++ {
+		p.Buffers = append(p.Buffers, buffers.Buffer{Start: 0, End: 5, Size: 4})
+	}
+	p.Normalize() // infeasible: 12 > 8
+	col := NewCollector(p, 1, ilp.Options{MaxSteps: 10000})
+	if got := col.deepestSolvable(nil); got != -1 {
+		t.Errorf("deepestSolvable(infeasible, empty path) = %d, want -1", got)
+	}
+	// Feasible two-buffer problem: empty prefix solvable, full bad prefix not.
+	q := &buffers.Problem{Memory: 8}
+	q.Buffers = append(q.Buffers, buffers.Buffer{Start: 0, End: 5, Size: 4})
+	q.Buffers = append(q.Buffers, buffers.Buffer{Start: 0, End: 5, Size: 4})
+	q.Normalize()
+	col2 := NewCollector(q, 1, ilp.Options{MaxSteps: 10000})
+	path := []placement{{0, 2}} // splits memory: unsolvable
+	if got := col2.deepestSolvable(path); got != 0 {
+		t.Errorf("deepestSolvable(bad placement) = %d, want 0", got)
+	}
+	good := []placement{{0, 0}, {1, 4}}
+	if got := col2.deepestSolvable(good); got != 2 {
+		t.Errorf("deepestSolvable(good path) = %d, want 2", got)
+	}
+	if col2.OracleCalls == 0 {
+		t.Error("oracle never called")
+	}
+	// Cache: repeating the query must not add calls.
+	before := col2.OracleCalls
+	col2.deepestSolvable(good)
+	if col2.OracleCalls >= before+3 {
+		t.Errorf("cache ineffective: %d new calls", col2.OracleCalls-before)
+	}
+}

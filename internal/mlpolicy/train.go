@@ -1,0 +1,64 @@
+package mlpolicy
+
+import (
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/telamon"
+)
+
+// TrainingRun executes one TelaMalloc search in collection mode on p and
+// returns the labelled samples (empty if the search found no solution).
+func TrainingRun(p *buffers.Problem, seed int64, searchSteps int64, oracle ilp.Options) gbt.Dataset {
+	col := NewCollector(p, seed, oracle)
+	res := core.Solve(p, core.Config{
+		MaxSteps:     searchSteps,
+		Chooser:      col,
+		DisableSplit: true, // collection needs one coherent decision path
+		// Use the paper's candidate economics (three heuristic picks per
+		// decision point) so major backtracks — the only sample source —
+		// actually occur.
+		NoFallbackCandidates: true,
+	})
+	if res.Status != telamon.Solved {
+		return gbt.Dataset{}
+	}
+	return col.Label(res.Solution)
+}
+
+// CollectDataset runs collection over every problem, following §6.5's
+// recipe of varying the maximum memory between runs for further variation.
+// ratiosPct scales each problem's recorded memory (e.g. {105, 110, 125}).
+func CollectDataset(problems []*buffers.Problem, ratiosPct []int, seed int64, searchSteps int64, oracle ilp.Options) gbt.Dataset {
+	var ds gbt.Dataset
+	if len(ratiosPct) == 0 {
+		ratiosPct = []int{110}
+	}
+	for i, p := range problems {
+		for j, pct := range ratiosPct {
+			q := p.Clone()
+			q.Memory = q.Memory * int64(pct) / 100
+			peak := buffers.Contention(q).Peak()
+			if q.Memory < peak {
+				q.Memory = peak
+			}
+			part := TrainingRun(q, seed+int64(i*31+j), searchSteps, oracle)
+			ds.X = append(ds.X, part.X...)
+			ds.Y = append(ds.Y, part.Y...)
+		}
+	}
+	return ds
+}
+
+// TrainModel fits the backtracking forest with the paper's configuration: a
+// forest of 100 trees regressing the backtrack score (§6.5, §7.3).
+func TrainModel(ds gbt.Dataset, seed int64) (*gbt.Forest, error) {
+	return gbt.Train(ds, gbt.Options{
+		Trees:        100,
+		MaxDepth:     4,
+		LearningRate: 0.15,
+		MinLeaf:      4,
+		Seed:         seed,
+	})
+}

@@ -1,0 +1,160 @@
+// Package phases implements TelaMalloc's contention-based grouping (§5.3 of
+// the paper): a pre-processing pass that (1) splits the problem at time
+// points no buffer crosses, yielding independent subproblems, and (2) within
+// each subproblem, groups buffers into phases of decreasing contention using
+// the threshold-sweep algorithm of Figure 9. The search then prefers to
+// finish placing one phase before starting the next.
+package phases
+
+import (
+	"sort"
+
+	"telamalloc/internal/buffers"
+)
+
+// Region is a half-open time range [Start, End).
+type Region struct {
+	Start, End int64
+}
+
+// Overlaps reports whether b's live range intersects the region.
+func (r Region) Overlaps(b buffers.Buffer) bool {
+	return b.Start < r.End && r.Start < b.End
+}
+
+// Phase is one contention phase: a time region and the buffers assigned to
+// it. Phases are ordered by decreasing contention threshold (ties broken by
+// time), matching the order in which TelaMalloc wants to place them.
+type Phase struct {
+	Region Region
+	// ThresholdPct is the contention threshold (percent of total memory) at
+	// which this phase was discovered; 0 for the catch-all phase holding
+	// buffers below every threshold.
+	ThresholdPct int
+	// Buffers holds the IDs assigned to this phase.
+	Buffers []int
+}
+
+// Assignment is the result of grouping: an ordered phase list plus the
+// phase index of every buffer.
+type Assignment struct {
+	Phases []Phase
+	// PhaseOf[id] is the index into Phases for buffer id.
+	PhaseOf []int
+}
+
+// thresholds is the percent ladder from Figure 9 of the paper.
+var thresholds = []int{100, 90, 80, 70, 60, 50, 40, 30, 20}
+
+// Group runs the Figure 9 algorithm over the problem. Buffers that overlap
+// no high-contention range end up in a trailing catch-all phase.
+func Group(p *buffers.Problem) *Assignment {
+	n := len(p.Buffers)
+	a := &Assignment{PhaseOf: make([]int, n)}
+	for i := range a.PhaseOf {
+		a.PhaseOf[i] = -1
+	}
+	if n == 0 {
+		return a
+	}
+	profile := buffers.Contention(p)
+	assigned := 0
+	for _, pct := range thresholds {
+		if assigned == n {
+			break
+		}
+		threshold := int64(pct) * p.Memory / 100
+		for _, r := range highContentionRanges(profile, threshold) {
+			var ph *Phase
+			for id, b := range p.Buffers {
+				if a.PhaseOf[id] >= 0 || !r.Overlaps(b) {
+					continue
+				}
+				if ph == nil {
+					a.Phases = append(a.Phases, Phase{Region: r, ThresholdPct: pct})
+					ph = &a.Phases[len(a.Phases)-1]
+				}
+				ph.Buffers = append(ph.Buffers, id)
+				a.PhaseOf[id] = len(a.Phases) - 1
+				assigned++
+			}
+		}
+	}
+	if assigned < n {
+		lo, hi := p.TimeHorizon()
+		a.Phases = append(a.Phases, Phase{Region: Region{lo, hi}})
+		idx := len(a.Phases) - 1
+		ph := &a.Phases[idx]
+		for id := range p.Buffers {
+			if a.PhaseOf[id] < 0 {
+				ph.Buffers = append(ph.Buffers, id)
+				a.PhaseOf[id] = idx
+			}
+		}
+	}
+	return a
+}
+
+// highContentionRanges returns the maximal contiguous time ranges whose
+// contention matches or exceeds threshold, in time order.
+func highContentionRanges(profile buffers.ContentionProfile, threshold int64) []Region {
+	var out []Region
+	inRange := false
+	var start int64
+	for _, step := range profile.Steps {
+		if step.Contention >= threshold {
+			if !inRange {
+				inRange = true
+				start = step.Start
+			}
+		} else if inRange {
+			inRange = false
+			out = append(out, Region{start, step.Start})
+		}
+	}
+	if inRange && len(profile.Steps) > 0 {
+		out = append(out, Region{start, profile.Steps[len(profile.Steps)-1].End})
+	}
+	return out
+}
+
+// SplitIndependent finds cut points no buffer crosses and partitions the
+// problem into independent subproblems that can be solved in isolation
+// (§5.3: "we can divide the problem into two subproblems that can be solved
+// independently"). The returned slices hold buffer IDs per subproblem, in
+// time order. Problems with a single component return one group.
+func SplitIndependent(p *buffers.Problem) [][]int {
+	n := len(p.Buffers)
+	if n == 0 {
+		return nil
+	}
+	// Sort buffer IDs by start time; a cut exists wherever the running max
+	// End so far is <= the next buffer's Start.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := p.Buffers[order[i]], p.Buffers[order[j]]
+		if bi.Start != bj.Start {
+			return bi.Start < bj.Start
+		}
+		return order[i] < order[j]
+	})
+	var groups [][]int
+	cur := []int{order[0]}
+	maxEnd := p.Buffers[order[0]].End
+	for _, id := range order[1:] {
+		b := p.Buffers[id]
+		if b.Start >= maxEnd {
+			groups = append(groups, cur)
+			cur = nil
+		}
+		cur = append(cur, id)
+		if b.End > maxEnd {
+			maxEnd = b.End
+		}
+	}
+	groups = append(groups, cur)
+	return groups
+}

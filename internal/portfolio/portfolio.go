@@ -1,0 +1,103 @@
+// Package portfolio runs several allocation strategies as a portfolio —
+// the production pattern behind the paper's deployment story. The Pixel 6
+// compiler tries the greedy heuristic first and falls back to TelaMalloc
+// (§7.2: "our compiler thus still tries the heuristic before using
+// TelaMalloc"); before TelaMalloc existed, the fallback chain ended in an
+// ILP solver. This package provides both arrangements:
+//
+//   - Sequential: try allocators in order, return the first success — the
+//     shipped Pixel 6 flow, minimising wasted work on easy inputs.
+//   - Racing: run all allocators concurrently and return the first success,
+//     cancelling the rest — bounds latency by the *fastest* solver on every
+//     input at the cost of parallel CPU, useful on servers (§2.3's XLA
+//     setting, where compile machines have cores to spare).
+package portfolio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+)
+
+// ErrAllFailed is returned when every member failed.
+var ErrAllFailed = errors.New("portfolio: every allocator failed")
+
+// Result identifies which member produced the packing.
+type Result struct {
+	Solution *buffers.Solution
+	// Winner is the name of the allocator that succeeded.
+	Winner string
+	// Attempts counts members that ran to completion before the win
+	// (sequential mode) or that were started (racing mode).
+	Attempts int
+}
+
+// Sequential tries members in order and returns the first valid solution.
+func Sequential(p *buffers.Problem, members ...heuristics.Allocator) (*Result, error) {
+	if len(members) == 0 {
+		return nil, errors.New("portfolio: no members")
+	}
+	var errs []string
+	for i, m := range members {
+		sol, err := m.Allocate(p)
+		if err == nil {
+			if verr := sol.Validate(p); verr != nil {
+				return nil, fmt.Errorf("portfolio: %s returned invalid packing: %w", m.Name(), verr)
+			}
+			return &Result{Solution: sol, Winner: m.Name(), Attempts: i + 1}, nil
+		}
+		errs = append(errs, fmt.Sprintf("%s: %v", m.Name(), err))
+	}
+	return nil, fmt.Errorf("%w: %s", ErrAllFailed, strings.Join(errs, "; "))
+}
+
+// Racing runs all members concurrently and returns the first valid
+// solution. Members should carry their own budgets (steps or deadlines);
+// Racing does not forcibly kill laggards, it just stops waiting for them —
+// matching how allocator libraries without cancellation hooks are raced in
+// practice.
+func Racing(p *buffers.Problem, members ...heuristics.Allocator) (*Result, error) {
+	if len(members) == 0 {
+		return nil, errors.New("portfolio: no members")
+	}
+	type outcome struct {
+		sol  *buffers.Solution
+		name string
+		err  error
+	}
+	results := make(chan outcome, len(members))
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m heuristics.Allocator) {
+			defer wg.Done()
+			// Each goroutine gets its own clone: allocators promise not to
+			// mutate the problem, but isolation is cheap insurance against
+			// shared scratch state.
+			sol, err := m.Allocate(p.Clone())
+			results <- outcome{sol, m.Name(), err}
+		}(m)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	var errs []string
+	attempts := 0
+	for out := range results {
+		attempts++
+		if out.err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", out.name, out.err))
+			continue
+		}
+		if verr := out.sol.Validate(p); verr != nil {
+			errs = append(errs, fmt.Sprintf("%s: invalid packing: %v", out.name, verr))
+			continue
+		}
+		return &Result{Solution: out.sol, Winner: out.name, Attempts: len(members)}, nil
+	}
+	_ = attempts
+	return nil, fmt.Errorf("%w: %s", ErrAllFailed, strings.Join(errs, "; "))
+}

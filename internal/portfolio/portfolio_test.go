@@ -1,0 +1,127 @@
+package portfolio
+
+import (
+	"errors"
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/workload"
+)
+
+func tightProblem() *buffers.Problem {
+	// A tight instance the greedy heuristic fails on but TelaMalloc solves
+	// (verified: workload.Random seed 2 at 103% of its contention peak).
+	return workload.Random(2, 103)
+}
+
+func easyProblem() *buffers.Problem {
+	p := &buffers.Problem{
+		Memory: 64,
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 4, Size: 8},
+			{Start: 2, End: 8, Size: 8},
+		},
+	}
+	p.Normalize()
+	return p
+}
+
+// infeasibleProblem needs more memory than exists at every moment.
+func infeasibleProblem() *buffers.Problem {
+	p := &buffers.Problem{
+		Memory: 7,
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 4, Size: 4},
+			{Start: 0, End: 4, Size: 4},
+		},
+	}
+	p.Normalize()
+	return p
+}
+
+func members() []heuristics.Allocator {
+	return []heuristics.Allocator{
+		heuristics.GreedyContention{},
+		core.Allocator{Config: core.Config{MaxSteps: 100000}},
+	}
+}
+
+func TestSequentialFirstMemberWins(t *testing.T) {
+	res, err := Sequential(easyProblem(), members()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "greedy-contention" || res.Attempts != 1 {
+		t.Errorf("winner = %s after %d attempts, want greedy first", res.Winner, res.Attempts)
+	}
+}
+
+func TestSequentialFallsBack(t *testing.T) {
+	p := tightProblem()
+	res, err := Sequential(p, members()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "telamalloc" || res.Attempts != 2 {
+		t.Errorf("winner = %s after %d attempts, want telamalloc fallback", res.Winner, res.Attempts)
+	}
+	if verr := res.Solution.Validate(p); verr != nil {
+		t.Fatal(verr)
+	}
+}
+
+func TestSequentialAllFail(t *testing.T) {
+	p := infeasibleProblem()
+	_, err := Sequential(p, members()...)
+	if !errors.Is(err, ErrAllFailed) {
+		t.Errorf("err = %v, want ErrAllFailed", err)
+	}
+}
+
+func TestSequentialNoMembers(t *testing.T) {
+	if _, err := Sequential(easyProblem()); err == nil {
+		t.Error("empty portfolio accepted")
+	}
+	if _, err := Racing(easyProblem()); err == nil {
+		t.Error("empty racing portfolio accepted")
+	}
+}
+
+func TestRacingReturnsValidWinner(t *testing.T) {
+	p := tightProblem()
+	res, err := Racing(p, members()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "telamalloc" {
+		t.Errorf("winner = %s, want telamalloc (greedy cannot solve this)", res.Winner)
+	}
+	if verr := res.Solution.Validate(p); verr != nil {
+		t.Fatal(verr)
+	}
+}
+
+func TestRacingAllFail(t *testing.T) {
+	p := infeasibleProblem()
+	_, err := Racing(p, members()...)
+	if !errors.Is(err, ErrAllFailed) {
+		t.Errorf("err = %v, want ErrAllFailed", err)
+	}
+}
+
+func TestRacingManyProblems(t *testing.T) {
+	// Stress the concurrency path: many races back to back must all return
+	// valid packings from some member.
+	for i := 0; i < 20; i++ {
+		p := easyProblem()
+		res, err := Racing(p, members()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := res.Solution.Validate(p); verr != nil {
+			t.Fatal(verr)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package render draws allocation problems and packings as ASCII art — the
+// visual language of the paper's Figure 1. Rows are addresses (top = high),
+// columns are logical time; each buffer is drawn with a repeating glyph.
+// Intended for examples, CLI output and debugging; large problems are
+// downsampled to a requested canvas size.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"telamalloc/internal/buffers"
+)
+
+// glyphs cycles through buffer markers.
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// Options controls the canvas.
+type Options struct {
+	// MaxWidth bounds the number of time columns (0 = 100).
+	MaxWidth int
+	// MaxHeight bounds the number of address rows (0 = 40).
+	MaxHeight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxWidth == 0 {
+		o.MaxWidth = 100
+	}
+	if o.MaxHeight == 0 {
+		o.MaxHeight = 40
+	}
+	return o
+}
+
+// Packing renders a solved problem. Unassigned buffers (offset < 0) are
+// skipped, so partially spilled solutions render too.
+func Packing(p *buffers.Problem, sol *buffers.Solution, opts Options) string {
+	opts = opts.withDefaults()
+	lo, hi := p.TimeHorizon()
+	if hi <= lo || p.Memory <= 0 {
+		return "(empty)\n"
+	}
+	width := int(hi - lo)
+	if width > opts.MaxWidth {
+		width = opts.MaxWidth
+	}
+	height := int(p.Memory)
+	if height > opts.MaxHeight {
+		height = opts.MaxHeight
+	}
+	// scale maps problem coordinates onto the canvas.
+	colOf := func(t int64) int {
+		c := int((t - lo) * int64(width) / (hi - lo))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	rowOf := func(addr int64) int {
+		r := int(addr * int64(height) / p.Memory)
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", width))
+	}
+	for i, b := range p.Buffers {
+		off := sol.Offsets[i]
+		if off < 0 {
+			continue
+		}
+		g := glyphs[i%len(glyphs)]
+		r0, r1 := rowOf(off), rowOf(off+b.Size-1)
+		c0, c1 := colOf(b.Start), colOf(b.End-1)
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				grid[r][c] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	for r := height - 1; r >= 0; r-- {
+		addr := int64(r) * p.Memory / int64(height)
+		fmt.Fprintf(&sb, "%10d |%s|\n", addr, grid[r])
+	}
+	fmt.Fprintf(&sb, "%10s  %s\n", "", ruler(width))
+	fmt.Fprintf(&sb, "%10s  t=%d .. %d, memory %d\n", "", lo, hi, p.Memory)
+	return sb.String()
+}
+
+// Contention renders a contention (or usage) profile as a bar chart over
+// time, normalised to the given peak.
+func Contention(steps []buffers.ContentionStep, peak int64, opts Options) string {
+	opts = opts.withDefaults()
+	if len(steps) == 0 || peak <= 0 {
+		return "(empty)\n"
+	}
+	ramp := []byte(" .:-=+*#%@")
+	lo := steps[0].Start
+	hi := steps[len(steps)-1].End
+	width := int(hi - lo)
+	if width > opts.MaxWidth {
+		width = opts.MaxWidth
+	}
+	line := make([]byte, width)
+	for i := range line {
+		// Sample the profile at the midpoint of each column.
+		t := lo + (int64(i)*2+1)*(hi-lo)/int64(2*width)
+		var v int64
+		for _, s := range steps {
+			if s.Start <= t && t < s.End {
+				v = s.Contention
+				break
+			}
+		}
+		lvl := int(v * int64(len(ramp)-1) / peak)
+		if lvl >= len(ramp) {
+			lvl = len(ramp) - 1
+		}
+		line[i] = ramp[lvl]
+	}
+	return fmt.Sprintf("|%s|\npeak %d over t=%d..%d\n", line, peak, lo, hi)
+}
+
+func ruler(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		if i%10 == 0 {
+			out[i] = '+'
+		} else {
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}

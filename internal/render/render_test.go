@@ -1,0 +1,118 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"telamalloc/internal/buffers"
+)
+
+func smallProblem() (*buffers.Problem, *buffers.Solution) {
+	p := &buffers.Problem{
+		Memory: 8,
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 4, Size: 4},
+			{Start: 4, End: 8, Size: 4},
+			{Start: 0, End: 8, Size: 4},
+		},
+	}
+	p.Normalize()
+	sol := &buffers.Solution{Offsets: []int64{0, 0, 4}}
+	return p, sol
+}
+
+func TestPackingRendersAllBuffers(t *testing.T) {
+	p, sol := smallProblem()
+	out := Packing(p, sol, Options{})
+	for _, g := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("glyph %q missing from render:\n%s", g, out)
+		}
+	}
+	if !strings.Contains(out, "memory 8") {
+		t.Error("footer missing")
+	}
+	// Address 0 row must show buffer 0 early and buffer 1 late.
+	lines := strings.Split(out, "\n")
+	var bottom string
+	for _, l := range lines {
+		if strings.Contains(l, "         0 |") {
+			bottom = l
+		}
+	}
+	if bottom == "" {
+		t.Fatalf("no bottom row in:\n%s", out)
+	}
+	if !strings.Contains(bottom, "0") || !strings.Contains(bottom, "1") {
+		t.Errorf("bottom row should contain buffers 0 and 1: %q", bottom)
+	}
+}
+
+func TestPackingSkipsUnassigned(t *testing.T) {
+	p, sol := smallProblem()
+	sol.Offsets[2] = -1 // spilled
+	out := Packing(p, sol, Options{})
+	// Inspect only the grid between the pipes (the address gutter contains
+	// digits too).
+	for _, line := range strings.Split(out, "\n") {
+		l := strings.Index(line, "|")
+		r := strings.LastIndex(line, "|")
+		if l < 0 || r <= l {
+			continue
+		}
+		if strings.Contains(line[l:r], "2") {
+			t.Fatalf("unassigned buffer rendered:\n%s", out)
+		}
+	}
+}
+
+func TestPackingDownsamplesLargeProblems(t *testing.T) {
+	p := &buffers.Problem{Memory: 1 << 30}
+	for i := int64(0); i < 50; i++ {
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: i * 100, End: i*100 + 100, Size: 1 << 20,
+		})
+	}
+	p.Normalize()
+	sol := buffers.NewSolution(len(p.Buffers))
+	for i := range sol.Offsets {
+		sol.Offsets[i] = 0
+	}
+	out := Packing(p, sol, Options{MaxWidth: 60, MaxHeight: 10})
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 60+14 {
+			t.Errorf("line exceeds canvas: %q", line)
+		}
+	}
+	if n := strings.Count(out, "\n"); n > 14 {
+		t.Errorf("render has %d lines despite MaxHeight 10", n)
+	}
+}
+
+func TestPackingEmpty(t *testing.T) {
+	if got := Packing(&buffers.Problem{Memory: 8}, buffers.NewSolution(0), Options{}); got != "(empty)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}
+
+func TestContentionRender(t *testing.T) {
+	steps := []buffers.ContentionStep{
+		{Start: 0, End: 5, Contention: 10},
+		{Start: 5, End: 10, Contention: 2},
+	}
+	out := Contention(steps, 10, Options{MaxWidth: 10})
+	if !strings.Contains(out, "peak 10") {
+		t.Errorf("missing footer: %q", out)
+	}
+	bar := out[strings.Index(out, "|")+1 : strings.LastIndex(out, "|")]
+	if len(bar) != 10 {
+		t.Errorf("bar width %d, want 10: %q", len(bar), bar)
+	}
+	// First half must render denser than the second half.
+	if bar[0] == bar[len(bar)-1] {
+		t.Errorf("profile levels indistinguishable: %q", bar)
+	}
+	if got := Contention(nil, 0, Options{}); got != "(empty)\n" {
+		t.Errorf("empty contention = %q", got)
+	}
+}

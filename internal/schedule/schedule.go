@@ -1,0 +1,249 @@
+// Package schedule implements the compiler pass that runs *before* memory
+// allocation: ordering a model's operator DAG into the logical timeline the
+// allocator sees. The paper's §2.3 notes that the allocation problem
+// "depends not only on the model but also on ... earlier compiler passes";
+// this package makes that dependency concrete — the same DAG scheduled two
+// ways yields allocation problems of very different difficulty.
+//
+// Two list-scheduling policies are provided:
+//
+//   - ASAP: plain topological order (dependency-ready ops run immediately,
+//     lowest index first) — simple, but can hold many tensors live at once.
+//   - MinLiveBytes: memory-aware list scheduling — among ready ops, pick
+//     the one that minimises the resulting live-byte count, the classic
+//     peak-memory reduction pass production compilers run before
+//     allocation.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+
+	"telamalloc/internal/buffers"
+)
+
+// DAG is an operator dependency graph. Each op produces exactly one output
+// tensor (size OutSize[i]); op j consuming op i's output is expressed by
+// listing i in Deps[j].
+type DAG struct {
+	// Deps[i] lists the ops whose outputs op i consumes.
+	Deps [][]int
+	// OutSize[i] is the byte size of op i's output tensor.
+	OutSize []int64
+	// OutAlign[i] is the output tensor's alignment (0 = none).
+	OutAlign []int64
+}
+
+// NumOps returns the number of operators.
+func (d *DAG) NumOps() int { return len(d.OutSize) }
+
+// Errors returned by Validate and Schedule.
+var (
+	ErrShape = errors.New("schedule: inconsistent DAG shapes")
+	ErrCycle = errors.New("schedule: dependency cycle")
+	ErrDep   = errors.New("schedule: dependency index out of range")
+)
+
+// Validate checks shapes, dependency ranges, and acyclicity.
+func (d *DAG) Validate() error {
+	n := d.NumOps()
+	if len(d.Deps) != n || (d.OutAlign != nil && len(d.OutAlign) != n) {
+		return ErrShape
+	}
+	for i, deps := range d.Deps {
+		for _, dep := range deps {
+			if dep < 0 || dep >= n {
+				return fmt.Errorf("%w: op %d depends on %d", ErrDep, i, dep)
+			}
+		}
+	}
+	if _, err := d.topoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// topoOrder returns a Kahn topological order (lowest index first among
+// ready ops) or ErrCycle.
+func (d *DAG) topoOrder() ([]int, error) {
+	n := d.NumOps()
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i, deps := range d.Deps {
+		indeg[i] = len(deps)
+		for _, dep := range deps {
+			succ[dep] = append(succ[dep], i)
+		}
+	}
+	// ready kept sorted ascending by scanning; n is small (compile-time).
+	var order []int
+	done := make([]bool, n)
+	for len(order) < n {
+		next := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && indeg[i] == 0 {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			return nil, ErrCycle
+		}
+		done[next] = true
+		order = append(order, next)
+		for _, s := range succ[next] {
+			indeg[s]--
+		}
+	}
+	return order, nil
+}
+
+// Policy selects the scheduling strategy.
+type Policy int
+
+const (
+	// ASAP is plain topological order.
+	ASAP Policy = iota
+	// MinLiveBytes greedily minimises live tensor bytes at each step.
+	MinLiveBytes
+)
+
+func (p Policy) String() string {
+	if p == MinLiveBytes {
+		return "min-live-bytes"
+	}
+	return "asap"
+}
+
+// Schedule orders the DAG under the policy. The result is a permutation of
+// op indices; position in the slice is the op's logical timestamp.
+func (d *DAG) Schedule(policy Policy) ([]int, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == ASAP {
+		return d.topoOrder()
+	}
+	return d.minLiveSchedule()
+}
+
+// minLiveSchedule is greedy list scheduling: at each step, among
+// dependency-ready ops, run the one that minimises the live-byte total
+// after it executes (its output becomes live; inputs whose last remaining
+// consumer it was become dead). Ties break toward the op freeing the most
+// bytes, then the lowest index.
+func (d *DAG) minLiveSchedule() ([]int, error) {
+	n := d.NumOps()
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	remainingConsumers := make([]int, n)
+	for i, deps := range d.Deps {
+		indeg[i] = len(deps)
+		for _, dep := range deps {
+			succ[dep] = append(succ[dep], i)
+			remainingConsumers[dep]++
+		}
+	}
+	done := make([]bool, n)
+	var order []int
+	var liveBytes int64
+	for len(order) < n {
+		best := -1
+		var bestLive, bestFreed int64
+		for i := 0; i < n; i++ {
+			if done[i] || indeg[i] != 0 {
+				continue
+			}
+			var freed int64
+			for _, dep := range d.Deps[i] {
+				if remainingConsumers[dep] == 1 {
+					freed += d.OutSize[dep]
+				}
+			}
+			after := liveBytes + d.OutSize[i] - freed
+			if best < 0 || after < bestLive || (after == bestLive && freed > bestFreed) {
+				best, bestLive, bestFreed = i, after, freed
+			}
+		}
+		if best < 0 {
+			return nil, ErrCycle
+		}
+		done[best] = true
+		order = append(order, best)
+		liveBytes += d.OutSize[best]
+		for _, dep := range d.Deps[best] {
+			remainingConsumers[dep]--
+			if remainingConsumers[dep] == 0 {
+				liveBytes -= d.OutSize[dep]
+			}
+		}
+		for _, s := range succ[best] {
+			indeg[s]--
+		}
+	}
+	return order, nil
+}
+
+// Problem lowers a schedule to the allocation problem the allocator sees:
+// op i's output is live from its position until just after its last
+// consumer's position (or just its own slot if unconsumed). Memory is left
+// zero for the caller to size.
+func (d *DAG) Problem(order []int, name string) (*buffers.Problem, error) {
+	n := d.NumOps()
+	if len(order) != n {
+		return nil, ErrShape
+	}
+	pos := make([]int64, n)
+	seen := make([]bool, n)
+	for t, op := range order {
+		if op < 0 || op >= n || seen[op] {
+			return nil, fmt.Errorf("%w: bad order entry %d", ErrShape, op)
+		}
+		seen[op] = true
+		pos[op] = int64(t)
+	}
+	p := &buffers.Problem{Name: name}
+	for i := 0; i < n; i++ {
+		end := pos[i] + 1
+		for _, j := range consumersOf(d, i) {
+			if pos[j]+1 > end {
+				end = pos[j] + 1
+			}
+		}
+		var align int64
+		if d.OutAlign != nil {
+			align = d.OutAlign[i]
+		}
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: pos[i],
+			End:   end,
+			Size:  d.OutSize[i],
+			Align: align,
+		})
+	}
+	p.Normalize()
+	return p, nil
+}
+
+func consumersOf(d *DAG, op int) []int {
+	var out []int
+	for j, deps := range d.Deps {
+		for _, dep := range deps {
+			if dep == op {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PeakLiveBytes evaluates a schedule's peak live tensor bytes — the lower
+// bound the schedule imposes on any allocator.
+func (d *DAG) PeakLiveBytes(order []int, name string) (int64, error) {
+	p, err := d.Problem(order, name)
+	if err != nil {
+		return 0, err
+	}
+	return buffers.Contention(p).Peak(), nil
+}

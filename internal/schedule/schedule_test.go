@@ -1,0 +1,243 @@
+package schedule
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"telamalloc/internal/buffers"
+)
+
+// chainDAG builds a linear chain of n ops.
+func chainDAG(n int, size int64) *DAG {
+	d := &DAG{}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			d.Deps = append(d.Deps, nil)
+		} else {
+			d.Deps = append(d.Deps, []int{i - 1})
+		}
+		d.OutSize = append(d.OutSize, size)
+	}
+	return d
+}
+
+// diamondDAG builds: 0 -> {1, 2} -> 3 with given sizes.
+func diamondDAG(sizes [4]int64) *DAG {
+	return &DAG{
+		Deps:    [][]int{nil, {0}, {0}, {1, 2}},
+		OutSize: sizes[:],
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := chainDAG(5, 1).Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	bad := &DAG{Deps: [][]int{{1}, {0}}, OutSize: []int64{1, 1}}
+	if err := bad.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle: %v", err)
+	}
+	oob := &DAG{Deps: [][]int{{7}}, OutSize: []int64{1}}
+	if err := oob.Validate(); !errors.Is(err, ErrDep) {
+		t.Errorf("out-of-range dep: %v", err)
+	}
+	shape := &DAG{Deps: [][]int{nil}, OutSize: []int64{1, 2}}
+	if err := shape.Validate(); !errors.Is(err, ErrShape) {
+		t.Errorf("shape: %v", err)
+	}
+}
+
+func TestASAPRespectsDependencies(t *testing.T) {
+	d := diamondDAG([4]int64{1, 1, 1, 1})
+	order, err := d.Schedule(ASAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := invert(order)
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Errorf("dependency violated in %v", order)
+	}
+}
+
+func TestMinLiveBeatsASAPOnWideFanOut(t *testing.T) {
+	// A producer feeding many heavy branches that each reduce to a small
+	// tensor: ASAP runs all heavy branch ops back-to-back (stacking big
+	// intermediates); min-live finishes each branch before starting the
+	// next.
+	// Index layout matters: all heavy ops get lower indices than the
+	// reducers, so index-ordered ASAP runs every heavy op first (stacking
+	// the intermediates), while min-live finishes one branch at a time.
+	d := &DAG{}
+	d.Deps = append(d.Deps, nil) // 0: source
+	d.OutSize = append(d.OutSize, 10)
+	const branches = 4
+	for b := 0; b < branches; b++ { // ops 1..4: heavy intermediates
+		d.Deps = append(d.Deps, []int{0})
+		d.OutSize = append(d.OutSize, 100)
+	}
+	var heads []int
+	for b := 0; b < branches; b++ { // ops 5..8: reducers
+		d.Deps = append(d.Deps, []int{1 + b})
+		d.OutSize = append(d.OutSize, 1)
+		heads = append(heads, len(d.OutSize)-1)
+	}
+	d.Deps = append(d.Deps, heads) // sink
+	d.OutSize = append(d.OutSize, 1)
+
+	asap, err := d.Schedule(ASAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLive, err := d.Schedule(MinLiveBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakASAP, _ := d.PeakLiveBytes(asap, "asap")
+	peakML, _ := d.PeakLiveBytes(minLive, "ml")
+	if peakML >= peakASAP {
+		t.Errorf("min-live peak %d not below ASAP peak %d", peakML, peakASAP)
+	}
+}
+
+func TestProblemLiveRanges(t *testing.T) {
+	d := diamondDAG([4]int64{10, 20, 30, 40})
+	order := []int{0, 1, 2, 3}
+	p, err := d.Problem(order, "diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Op 0's output is consumed by ops 1 (t=1) and 2 (t=2): live [0, 3).
+	if p.Buffers[0].Start != 0 || p.Buffers[0].End != 3 {
+		t.Errorf("op0 live [%d,%d), want [0,3)", p.Buffers[0].Start, p.Buffers[0].End)
+	}
+	// Op 3's output has no consumers: live [3, 4).
+	if p.Buffers[3].Start != 3 || p.Buffers[3].End != 4 {
+		t.Errorf("op3 live [%d,%d), want [3,4)", p.Buffers[3].Start, p.Buffers[3].End)
+	}
+	if p.Buffers[1].Size != 20 {
+		t.Errorf("size lost: %+v", p.Buffers[1])
+	}
+	// Bad orders are rejected.
+	if _, err := d.Problem([]int{0, 1}, "x"); !errors.Is(err, ErrShape) {
+		t.Errorf("short order accepted: %v", err)
+	}
+	if _, err := d.Problem([]int{0, 1, 1, 3}, "x"); !errors.Is(err, ErrShape) {
+		t.Errorf("duplicate order accepted: %v", err)
+	}
+}
+
+func TestSchedulesAreValidPermutationsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDAG(rng, 3+rng.Intn(30))
+		for _, pol := range []Policy{ASAP, MinLiveBytes} {
+			order, err := d.Schedule(pol)
+			if err != nil {
+				return false
+			}
+			pos := invert(order)
+			for i, deps := range d.Deps {
+				for _, dep := range deps {
+					if pos[dep] >= pos[i] {
+						return false
+					}
+				}
+			}
+			p, err := d.Problem(order, "rand")
+			if err != nil {
+				return false
+			}
+			q := p.Clone()
+			q.Memory = q.TotalBytes()
+			if q.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinLiveNeverWorseInAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var asapTotal, mlTotal float64
+	for trial := 0; trial < 40; trial++ {
+		d := randomDAG(rng, 20+rng.Intn(30))
+		asap, err := d.Schedule(ASAP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := d.Schedule(MinLiveBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := d.PeakLiveBytes(asap, "a")
+		pm, _ := d.PeakLiveBytes(ml, "m")
+		asapTotal += float64(pa)
+		mlTotal += float64(pm)
+	}
+	if mlTotal > asapTotal {
+		t.Errorf("memory-aware scheduling worse in aggregate: %.0f vs %.0f", mlTotal, asapTotal)
+	}
+	t.Logf("aggregate peak: ASAP %.0f vs min-live %.0f (%.1f%% saved)",
+		asapTotal, mlTotal, 100*(1-mlTotal/asapTotal))
+}
+
+func TestPoliciesAffectAllocatorInput(t *testing.T) {
+	// The same DAG under two schedules yields different contention peaks —
+	// the §2.3 point that earlier passes change the allocation problem.
+	rng := rand.New(rand.NewSource(4))
+	differs := false
+	for trial := 0; trial < 10 && !differs; trial++ {
+		d := randomDAG(rng, 30)
+		a, _ := d.Schedule(ASAP)
+		m, _ := d.Schedule(MinLiveBytes)
+		pa, _ := d.PeakLiveBytes(a, "a")
+		pm, _ := d.PeakLiveBytes(m, "m")
+		if pa != pm {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("schedules never changed the allocation problem")
+	}
+}
+
+func randomDAG(rng *rand.Rand, n int) *DAG {
+	d := &DAG{}
+	for i := 0; i < n; i++ {
+		var deps []int
+		for k := 0; k < rng.Intn(3) && i > 0; k++ {
+			deps = append(deps, rng.Intn(i)) // edges only point backwards: acyclic
+		}
+		d.Deps = append(d.Deps, dedup(deps))
+		d.OutSize = append(d.OutSize, 1+rng.Int63n(100))
+	}
+	return d
+}
+
+func dedup(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func invert(order []int) []int {
+	pos := make([]int, len(order))
+	for t, op := range order {
+		pos[op] = t
+	}
+	return pos
+}
+
+var _ = buffers.Buffer{} // keep the import for the problem checks above

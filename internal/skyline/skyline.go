@@ -1,0 +1,148 @@
+// Package skyline maintains the "skyline" of already-placed buffers: the
+// maximum occupied address for every logical time slot. Both the baseline
+// greedy heuristic (§3.1 of the paper) and TelaMalloc's simple placement
+// strategy (Figure 8a) place each new block on top of this skyline, like
+// pieces in a game of Tetris.
+//
+// The implementation is a lazy segment tree over coordinate-compressed time,
+// supporting range-max queries and range assignment in O(log n).
+package skyline
+
+import "sort"
+
+// Skyline tracks the maximum in-use address per time slot over a fixed set
+// of time boundaries established at construction.
+type Skyline struct {
+	coords []int64 // sorted unique event coordinates; leaf i covers [coords[i], coords[i+1])
+	n      int     // number of leaf segments
+	maxv   []int64 // segment tree: max over subtree
+	lazy   []int64 // pending assignment (-1 = none)
+}
+
+// New builds a skyline over the given time coordinates. Every Start and End
+// that will later be passed to Height or Place must appear in coords;
+// workloads derive coords from their buffers' endpoints.
+func New(coords []int64) *Skyline {
+	cs := append([]int64(nil), coords...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	uniq := cs[:0]
+	for i, c := range cs {
+		if i == 0 || c != uniq[len(uniq)-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	n := len(uniq) - 1
+	if n < 0 {
+		n = 0
+	}
+	s := &Skyline{coords: uniq, n: n}
+	if n > 0 {
+		s.maxv = make([]int64, 4*n)
+		s.lazy = make([]int64, 4*n)
+		for i := range s.lazy {
+			s.lazy[i] = -1
+		}
+	}
+	return s
+}
+
+// FromBuffers builds a skyline whose coordinates are the start/end points of
+// the given (start, end) pairs.
+func FromBuffers(starts, ends []int64) *Skyline {
+	coords := make([]int64, 0, len(starts)+len(ends))
+	coords = append(coords, starts...)
+	coords = append(coords, ends...)
+	return New(coords)
+}
+
+// leafRange maps [start, end) to leaf index range [lo, hi). Both start and
+// end must be registered coordinates.
+func (s *Skyline) leafRange(start, end int64) (int, int) {
+	lo := sort.Search(len(s.coords), func(i int) bool { return s.coords[i] >= start })
+	hi := sort.Search(len(s.coords), func(i int) bool { return s.coords[i] >= end })
+	return lo, hi
+}
+
+func (s *Skyline) push(node int) {
+	if s.lazy[node] < 0 {
+		return
+	}
+	for _, c := range [2]int{2*node + 1, 2*node + 2} {
+		s.maxv[c] = s.lazy[node]
+		s.lazy[c] = s.lazy[node]
+	}
+	s.lazy[node] = -1
+}
+
+func (s *Skyline) assign(node, nodeLo, nodeHi, lo, hi int, v int64) {
+	if hi <= nodeLo || nodeHi <= lo {
+		return
+	}
+	if lo <= nodeLo && nodeHi <= hi {
+		s.maxv[node] = v
+		s.lazy[node] = v
+		return
+	}
+	s.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	s.assign(2*node+1, nodeLo, mid, lo, hi, v)
+	s.assign(2*node+2, mid, nodeHi, lo, hi, v)
+	s.maxv[node] = max64(s.maxv[2*node+1], s.maxv[2*node+2])
+}
+
+func (s *Skyline) query(node, nodeLo, nodeHi, lo, hi int) int64 {
+	if hi <= nodeLo || nodeHi <= lo {
+		return 0
+	}
+	if lo <= nodeLo && nodeHi <= hi {
+		return s.maxv[node]
+	}
+	s.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	return max64(
+		s.query(2*node+1, nodeLo, mid, lo, hi),
+		s.query(2*node+2, mid, nodeHi, lo, hi),
+	)
+}
+
+// Height returns the current skyline height (maximum occupied address) over
+// the time range [start, end).
+func (s *Skyline) Height(start, end int64) int64 {
+	if s.n == 0 || start >= end {
+		return 0
+	}
+	lo, hi := s.leafRange(start, end)
+	if lo >= hi {
+		return 0
+	}
+	return s.query(0, 0, s.n, lo, hi)
+}
+
+// Place records that the address range up to `top` is now occupied over
+// [start, end). Callers compute top = position + size where position is at
+// least Height(start, end); the skyline over the range is assigned to top.
+func (s *Skyline) Place(start, end, top int64) {
+	if s.n == 0 || start >= end {
+		return
+	}
+	lo, hi := s.leafRange(start, end)
+	if lo >= hi {
+		return
+	}
+	s.assign(0, 0, s.n, lo, hi, top)
+}
+
+// Peak returns the maximum skyline height across all time.
+func (s *Skyline) Peak() int64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.maxv[0]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkylineBasic(t *testing.T) {
+	s := New([]int64{0, 2, 5, 8, 10})
+	if got := s.Height(0, 10); got != 0 {
+		t.Fatalf("initial Height = %d, want 0", got)
+	}
+	s.Place(0, 5, 4) // block occupying [0,5) up to address 4
+	if got := s.Height(0, 2); got != 4 {
+		t.Errorf("Height(0,2) = %d, want 4", got)
+	}
+	if got := s.Height(5, 10); got != 0 {
+		t.Errorf("Height(5,10) = %d, want 0", got)
+	}
+	s.Place(2, 8, 10)
+	if got := s.Height(0, 10); got != 10 {
+		t.Errorf("Height(0,10) = %d, want 10", got)
+	}
+	if got := s.Height(0, 2); got != 4 {
+		t.Errorf("Height(0,2) = %d, want 4 (unchanged)", got)
+	}
+	if got := s.Height(8, 10); got != 0 {
+		t.Errorf("Height(8,10) = %d, want 0", got)
+	}
+	if got := s.Peak(); got != 10 {
+		t.Errorf("Peak = %d, want 10", got)
+	}
+}
+
+func TestSkylineTetrisPlacement(t *testing.T) {
+	// Emulate the baseline heuristic: place each block at Height(start,end).
+	s := FromBuffers([]int64{0, 0, 2}, []int64{10, 10, 8})
+	blocks := []struct {
+		start, end, size int64
+	}{
+		{0, 10, 4},
+		{0, 10, 4},
+		{2, 8, 8},
+	}
+	var tops []int64
+	for _, b := range blocks {
+		pos := s.Height(b.start, b.end)
+		s.Place(b.start, b.end, pos+b.size)
+		tops = append(tops, pos)
+	}
+	want := []int64{0, 4, 8}
+	for i := range want {
+		if tops[i] != want[i] {
+			t.Errorf("block %d placed at %d, want %d", i, tops[i], want[i])
+		}
+	}
+}
+
+func TestSkylineEmptyAndDegenerate(t *testing.T) {
+	s := New(nil)
+	if got := s.Height(0, 10); got != 0 {
+		t.Errorf("empty skyline Height = %d", got)
+	}
+	s.Place(0, 10, 5) // must not panic
+	if got := s.Peak(); got != 0 {
+		t.Errorf("empty skyline Peak = %d", got)
+	}
+	one := New([]int64{5})
+	one.Place(5, 5, 9)
+	if got := one.Height(5, 5); got != 0 {
+		t.Errorf("zero-width Height = %d", got)
+	}
+}
+
+func TestSkylineMatchesBruteForce(t *testing.T) {
+	// Property: the segment tree agrees with a per-slot array model.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = 64
+		coords := make([]int64, horizon+1)
+		for i := range coords {
+			coords[i] = int64(i)
+		}
+		s := New(coords)
+		ref := make([]int64, horizon)
+		for step := 0; step < 40; step++ {
+			lo := rng.Int63n(horizon)
+			hi := lo + 1 + rng.Int63n(horizon-lo)
+			if rng.Intn(2) == 0 {
+				// Query
+				var want int64
+				for x := lo; x < hi; x++ {
+					if ref[x] > want {
+						want = ref[x]
+					}
+				}
+				if got := s.Height(lo, hi); got != want {
+					return false
+				}
+			} else {
+				// Place on top of the current skyline.
+				var base int64
+				for x := lo; x < hi; x++ {
+					if ref[x] > base {
+						base = ref[x]
+					}
+				}
+				top := base + 1 + rng.Int63n(16)
+				s.Place(lo, hi, top)
+				for x := lo; x < hi; x++ {
+					ref[x] = top
+				}
+			}
+		}
+		var wantPeak int64
+		for _, v := range ref {
+			if v > wantPeak {
+				wantPeak = v
+			}
+		}
+		return s.Peak() == wantPeak
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkylineDuplicateCoords(t *testing.T) {
+	s := New([]int64{0, 5, 5, 5, 10, 0})
+	s.Place(0, 5, 3)
+	if got := s.Height(0, 10); got != 3 {
+		t.Errorf("Height = %d, want 3", got)
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %g, want %g", name, got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	approx(t, "Mean", Mean([]float64{1, 2, 3, 4}), 2.5)
+	approx(t, "Mean empty", Mean(nil), 0)
+}
+
+func TestGeoMean(t *testing.T) {
+	approx(t, "GeoMean", GeoMean([]float64{1, 4, 16}), 4)
+	approx(t, "GeoMean single", GeoMean([]float64{7}), 7)
+	approx(t, "GeoMean empty", GeoMean(nil), 0)
+	if g := GeoMean([]float64{0, 4}); g <= 0 || math.IsNaN(g) {
+		t.Errorf("GeoMean with zero produced %g", g)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	approx(t, "StdDev", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2)
+	approx(t, "StdDev single", StdDev([]float64{3}), 0)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	approx(t, "P0", Percentile(xs, 0), 15)
+	approx(t, "P100", Percentile(xs, 100), 50)
+	approx(t, "P50", Percentile(xs, 50), 35)
+	approx(t, "P25", Percentile(xs, 25), 20)
+	approx(t, "Median", Median(xs), 35)
+	approx(t, "Percentile empty", Percentile(nil, 50), 0)
+	// Interpolation between ranks.
+	approx(t, "P10 of [0,10]", Percentile([]float64{0, 10}, 10), 1)
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	approx(t, "Min", Min(xs), -1)
+	approx(t, "Max", Max(xs), 7)
+	approx(t, "Min empty", Min(nil), 0)
+	approx(t, "Max empty", Max(nil), 0)
+}
+
+func TestRMSE(t *testing.T) {
+	approx(t, "RMSE zero", RMSE([]float64{1, 2}, []float64{1, 2}), 0)
+	approx(t, "RMSE", RMSE([]float64{0, 0}, []float64{3, 4}), math.Sqrt(12.5))
+	approx(t, "RMSE empty", RMSE(nil, nil), 0)
+}

@@ -1,0 +1,36 @@
+package telamon
+
+// This file documents the policy contract in one place; the interface
+// itself lives in telamon.go.
+//
+// # Policy lifecycle
+//
+// The framework calls the policy at three moments:
+//
+//  1. Candidates — once per new decision point. The policy inspects the
+//     live state (placed buffers, solver bounds, phase structure) and
+//     returns an ordered queue of buffer IDs. The framework consumes the
+//     queue across minor backtracks and may later extend it with promoted
+//     candidates from deeper, failed decision points.
+//
+//  2. Placement — once per candidate attempt. The policy converts a buffer
+//     ID into a concrete position; ok=false marks the candidate dead
+//     without touching solver state (counted as a minor backtrack).
+//
+//  3. BacktrackTarget — once per major backtrack, before the framework's
+//     own targeting. Policies without an opinion return ok=false; the
+//     learned backtracking model (§6 of the paper) plugs in here.
+//
+// # State visibility rules
+//
+// Policies may read State freely but must not mutate Stack, PlacedLevel, or
+// the model except through the documented query methods. The framework owns
+// all state transitions; a policy that calls Model.Push/Pop or Place
+// corrupts the trail discipline.
+//
+// # Determinism
+//
+// Search(p, ov, policy, opts) is deterministic for deterministic policies:
+// no randomness, no wall-clock reads (the Deadline check observes time but
+// only decides *whether* to stop, never *what* to explore next — so two
+// runs that both complete within budget explore identical trees).

@@ -1,0 +1,466 @@
+// Package telamon implements the search framework the paper builds
+// TelaMalloc on (§4): a wrapper around a constraint solver that, instead of
+// asking the solver for a complete solution, gives a *policy* callback
+// control over one variable-assignment choice at a time. The framework owns
+// the mechanics — the decision stack, solver state push/pop, minor and
+// major backtracks, candidate promotion and stuck detection — while the
+// policy owns all domain knowledge (which buffer to place next, where, and
+// how far to backjump).
+//
+// TelaMalloc (internal/core) is one policy; the single-strategy ablation
+// searchers of §7.2 and the ML-guided backtracking of §6 are others.
+package telamon
+
+import (
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/cp"
+)
+
+// Status is the outcome of a search.
+type Status int
+
+const (
+	// Solved means every buffer was placed.
+	Solved Status = iota
+	// Exhausted means the search space was exhausted without a solution.
+	Exhausted
+	// Budget means the step budget or deadline ran out first.
+	Budget
+)
+
+func (s Status) String() string {
+	switch s {
+	case Solved:
+		return "solved"
+	case Exhausted:
+		return "exhausted"
+	default:
+		return "budget-exceeded"
+	}
+}
+
+// DecisionPoint is one node on the search stack: an ordered queue of
+// candidate buffers, the candidate that was successfully committed (if
+// any), and bookkeeping for smart backtracking.
+type DecisionPoint struct {
+	// Queue holds candidate buffer IDs in the order the policy wants them
+	// tried. Next indexes the first untried candidate.
+	Queue []int
+	Next  int
+	// tried records candidates already attempted at this decision point.
+	// The state a decision point sees is exactly the placement prefix below
+	// it, which a backjump to this point restores unchanged — so retrying a
+	// candidate that already failed here would deterministically fail
+	// again. Filtering retries is therefore sound and guarantees that
+	// candidate promotion cannot cycle.
+	tried map[int]bool
+	// Placed is the committed buffer at this point, -1 before a commit.
+	Placed int
+	// Pos is the committed position (valid when Placed >= 0).
+	Pos int64
+	// SubtreeBacktracks counts backtracks that occurred in the subtree
+	// rooted here; child counts are folded in when children are popped.
+	// Drives the stuck-detection heuristic of §5.4.
+	SubtreeBacktracks int
+	// LastConflict is the most recent solver conflict observed while trying
+	// candidates at this point.
+	LastConflict *cp.Conflict
+}
+
+// State is the live search state handed to the policy.
+type State struct {
+	Model *cp.Model
+	Prob  *buffers.Problem
+	// Stack holds open decision points, root first.
+	Stack []*DecisionPoint
+	// PlacedLevel[buf] is the stack index at which buf was placed, or -1.
+	PlacedLevel []int
+	// Stats accumulates search-effort counters.
+	Stats Stats
+}
+
+// Depth returns the current stack depth.
+func (st *State) Depth() int { return len(st.Stack) }
+
+// Policy supplies the domain knowledge for the search.
+type Policy interface {
+	// Candidates returns the ordered candidate buffers for a new decision
+	// point. Returning nil lets the framework fall back to all unplaced
+	// buffers in ID order.
+	Candidates(st *State) []int
+	// Placement chooses the position to try for buf in the current state.
+	// Returning ok=false marks the candidate as dead at this point.
+	Placement(st *State, buf int) (pos int64, ok bool)
+	// BacktrackTarget may override the major-backtrack destination: the
+	// stack index to resume at. Returning ok=false selects the framework's
+	// default (conflict-driven backjump when enabled, else a fixed hop).
+	BacktrackTarget(st *State, exhausted *DecisionPoint) (target int, ok bool)
+}
+
+// Options tunes the framework mechanics.
+type Options struct {
+	// MaxSteps caps placement attempts, including failed ones (0 = none).
+	// The paper's large-scale ablation uses 500,000.
+	MaxSteps int64
+	// Deadline aborts the search when passed (zero = none).
+	Deadline time.Time
+	// StuckThreshold is the subtree-backtrack count beyond which the search
+	// escapes to the deepest stuck ancestor (§5.4; the paper uses ~100).
+	// Zero selects the default of 100; negative disables stuck detection.
+	StuckThreshold int
+	// MaxCandidatesPerLevel caps a decision point's queue after candidate
+	// promotion, preventing unbounded growth (§5.4). Zero selects 64.
+	MaxCandidatesPerLevel int
+	// FixedBacktrack is the number of levels a major backtrack jumps when
+	// conflict-driven targeting is disabled or has no information. Zero
+	// selects 1.
+	FixedBacktrack int
+	// DisableConflictDriven turns off conflict-driven backjumps (used by
+	// the ablation baselines, which "go to the last valid point").
+	DisableConflictDriven bool
+	// DisablePromotion turns off prepending failed candidates to the
+	// backtrack target's queue.
+	DisablePromotion bool
+}
+
+func (o Options) stuckThreshold() int {
+	switch {
+	case o.StuckThreshold == 0:
+		return 100
+	case o.StuckThreshold < 0:
+		return 1 << 30
+	default:
+		return o.StuckThreshold
+	}
+}
+
+func (o Options) maxCandidates() int {
+	if o.MaxCandidatesPerLevel == 0 {
+		return 64
+	}
+	return o.MaxCandidatesPerLevel
+}
+
+func (o Options) fixedBacktrack() int {
+	if o.FixedBacktrack <= 0 {
+		return 1
+	}
+	return o.FixedBacktrack
+}
+
+// Stats counts search effort. Steps matches the paper's step metric: every
+// attempted placement, successful or not.
+type Stats struct {
+	Steps           int64
+	Placements      int64
+	MinorBacktracks int64
+	MajorBacktracks int64
+	MaxDepth        int
+	SolverStats     cp.Stats
+}
+
+// Backtracks returns minor + major backtracks.
+func (s Stats) Backtracks() int64 { return s.MinorBacktracks + s.MajorBacktracks }
+
+// Result is the outcome of a search.
+type Result struct {
+	Status   Status
+	Solution *buffers.Solution
+	Stats    Stats
+}
+
+// Search runs the policy-guided search on problem p. ov may be nil.
+func Search(p *buffers.Problem, ov *buffers.Overlaps, policy Policy, opts Options) Result {
+	st := &State{
+		Model:       cp.NewModel(p, ov),
+		Prob:        p,
+		PlacedLevel: make([]int, len(p.Buffers)),
+	}
+	for i := range st.PlacedLevel {
+		st.PlacedLevel[i] = -1
+	}
+	s := &searcher{st: st, policy: policy, opts: opts}
+	res := s.run()
+	res.Stats = st.Stats
+	res.Stats.SolverStats = st.Model.Stats()
+	return res
+}
+
+type searcher struct {
+	st       *State
+	policy   Policy
+	opts     Options
+	deadline bool
+}
+
+func (s *searcher) outOfBudget() bool {
+	if s.opts.MaxSteps > 0 && s.st.Stats.Steps >= s.opts.MaxSteps {
+		return true
+	}
+	if !s.opts.Deadline.IsZero() && s.st.Stats.Steps%1024 == 0 {
+		if time.Now().After(s.opts.Deadline) {
+			s.deadline = true
+		}
+	}
+	return s.deadline
+}
+
+func (s *searcher) run() Result {
+	st := s.st
+	// Initial propagation catches problems infeasible from the start.
+	st.Model.Push()
+	if c := st.Model.Propagate(); c != nil {
+		return Result{Status: Exhausted}
+	}
+	for {
+		if st.Model.AllPlaced() {
+			return Result{Status: Solved, Solution: &buffers.Solution{Offsets: st.Model.Solution()}}
+		}
+		if s.outOfBudget() {
+			return Result{Status: Budget}
+		}
+		dp := s.top()
+		if dp == nil || dp.Placed >= 0 {
+			dp = s.openDecisionPoint()
+		}
+		if s.tryCandidates(dp) {
+			continue // committed; descend
+		}
+		if s.outOfBudget() {
+			return Result{Status: Budget}
+		}
+		// Queue exhausted: major backtrack.
+		st.Stats.MajorBacktracks++
+		dp.SubtreeBacktracks++
+		if !s.majorBacktrack(dp) {
+			return Result{Status: Exhausted}
+		}
+	}
+}
+
+func (s *searcher) top() *DecisionPoint {
+	if len(s.st.Stack) == 0 {
+		return nil
+	}
+	return s.st.Stack[len(s.st.Stack)-1]
+}
+
+func (s *searcher) openDecisionPoint() *DecisionPoint {
+	st := s.st
+	queue := s.policy.Candidates(st)
+	if len(queue) == 0 {
+		for i := range st.Prob.Buffers {
+			if !st.Model.Placed(i) {
+				queue = append(queue, i)
+			}
+		}
+	}
+	dp := &DecisionPoint{Queue: queue, Placed: -1, tried: make(map[int]bool)}
+	st.Stack = append(st.Stack, dp)
+	if d := len(st.Stack); d > st.Stats.MaxDepth {
+		st.Stats.MaxDepth = d
+	}
+	return dp
+}
+
+// tryCandidates attempts queue entries until one commits. Returns true on a
+// successful placement.
+func (s *searcher) tryCandidates(dp *DecisionPoint) bool {
+	st := s.st
+	for dp.Next < len(dp.Queue) {
+		if s.outOfBudget() {
+			return false
+		}
+		buf := dp.Queue[dp.Next]
+		dp.Next++
+		if st.Model.Placed(buf) || dp.tried[buf] {
+			continue
+		}
+		dp.tried[buf] = true
+		st.Stats.Steps++
+		pos, ok := s.policy.Placement(st, buf)
+		if !ok {
+			st.Stats.MinorBacktracks++
+			dp.SubtreeBacktracks++
+			continue
+		}
+		st.Model.Push()
+		if c := st.Model.Place(buf, pos); c != nil {
+			st.Model.Pop()
+			st.Stats.MinorBacktracks++
+			dp.SubtreeBacktracks++
+			dp.LastConflict = c
+			continue
+		}
+		dp.Placed = buf
+		dp.Pos = pos
+		st.PlacedLevel[buf] = len(st.Stack) - 1
+		st.Stats.Placements++
+		return true
+	}
+	return false
+}
+
+// majorBacktrack unwinds the stack to the chosen target and resumes there.
+// Returns false when the search must terminate (backtracked past the root).
+func (s *searcher) majorBacktrack(exhausted *DecisionPoint) bool {
+	st := s.st
+	if len(st.Stack) == 1 {
+		// The root decision point ran dry: nothing to backtrack to.
+		st.Stack = st.Stack[:0]
+		return false
+	}
+	target, stuck := s.chooseTarget(exhausted)
+	if target < 0 {
+		s.unwindTo(-1, nil)
+		return false
+	}
+	var promoted []int
+	if !s.opts.DisablePromotion {
+		promoted = exhausted.Queue
+	}
+	s.unwindTo(target, promoted)
+	if stuck {
+		// Restart the escape point's counter so the escape is not
+		// immediately re-triggered by its own history.
+		st.Stack[target].SubtreeBacktracks = 0
+	}
+	return true
+}
+
+// chooseTarget picks the stack index to resume at and reports whether the
+// stuck-detection escape fired. Precedence: policy override, stuck
+// detection, conflict-driven backjump, fixed hop.
+func (s *searcher) chooseTarget(exhausted *DecisionPoint) (int, bool) {
+	st := s.st
+	topIdx := len(st.Stack) - 1
+	target := -2
+	if t, ok := s.policy.BacktrackTarget(st, exhausted); ok {
+		target = clamp(t, -1, topIdx-1)
+	}
+	if target == -2 && !s.opts.DisableConflictDriven && exhausted.LastConflict != nil {
+		if t, ok := s.conflictTarget(exhausted.LastConflict); ok {
+			target = t
+		}
+	}
+	if target == -2 {
+		target = topIdx - s.opts.fixedBacktrack()
+		if target < 0 {
+			target = 0
+		}
+	}
+	// Stuck detection (§5.4): if an ancestor's subtree accumulated too many
+	// backtracks, the search is stuck inside it — escape to the lowest
+	// (shallowest) such ancestor.
+	threshold := s.opts.stuckThreshold()
+	for i := 0; i < topIdx; i++ {
+		if st.Stack[i].SubtreeBacktracks > threshold {
+			if i < target {
+				return i, true
+			}
+			break
+		}
+	}
+	return target, false
+}
+
+// conflictTarget implements the paper's smart backjump: go to the
+// second-to-last conflicting placement.
+func (s *searcher) conflictTarget(c *cp.Conflict) (int, bool) {
+	st := s.st
+	best, second := -1, -1 // two deepest conflicting levels
+	for _, buf := range c.Placements {
+		lvl := st.PlacedLevel[buf]
+		if lvl < 0 {
+			continue
+		}
+		switch {
+		case lvl > best:
+			second = best
+			best = lvl
+		case lvl > second && lvl != best:
+			second = lvl
+		}
+	}
+	if second >= 0 {
+		return second, true
+	}
+	if best >= 0 {
+		return best, true
+	}
+	return 0, false
+}
+
+// unwindTo pops decision points above target, undoing their placements and
+// folding their backtrack counts into the target; the target's own
+// placement is undone too so its remaining candidates can be retried.
+// promoted candidates (from the exhausted point) are inserted ahead of the
+// target's remaining queue, deduplicated and capped. target == -1 unwinds
+// everything.
+func (s *searcher) unwindTo(target int, promoted []int) {
+	st := s.st
+	var carried int
+	for len(st.Stack)-1 > target {
+		dp := st.Stack[len(st.Stack)-1]
+		st.Stack = st.Stack[:len(st.Stack)-1]
+		carried += dp.SubtreeBacktracks
+		if dp.Placed >= 0 {
+			st.PlacedLevel[dp.Placed] = -1
+			dp.Placed = -1
+			st.Model.Pop()
+		}
+	}
+	if target < 0 {
+		return
+	}
+	dp := st.Stack[target]
+	dp.SubtreeBacktracks += carried
+	if dp.Placed >= 0 {
+		st.PlacedLevel[dp.Placed] = -1
+		dp.Placed = -1
+		st.Model.Pop()
+	}
+	if len(promoted) > 0 {
+		// Promoted candidates the target has already attempted would fail
+		// identically (same placement prefix); drop them.
+		fresh := promoted[:0:0]
+		for _, b := range promoted {
+			if !dp.tried[b] {
+				fresh = append(fresh, b)
+			}
+		}
+		dp.Queue = mergeQueues(fresh, dp.Queue[dp.Next:], s.opts.maxCandidates())
+		dp.Next = 0
+	}
+}
+
+// mergeQueues prepends promoted to rest, removing duplicates and capping
+// the result at limit entries.
+func mergeQueues(promoted, rest []int, limit int) []int {
+	seen := make(map[int]bool, len(promoted)+len(rest))
+	out := make([]int, 0, len(promoted)+len(rest))
+	for _, lists := range [2][]int{promoted, rest} {
+		for _, b := range lists {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+				if len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

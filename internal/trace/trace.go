@@ -1,0 +1,124 @@
+// Package trace serialises allocation problems (and solutions) to a simple
+// JSON format. The paper's workflow relies on collecting on-device allocator
+// inputs as traces that can be replayed on workstations ("we collected a set
+// of on-device allocator inputs that we can run on regular servers or
+// desktops", §7); this package is that interchange format.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"telamalloc/internal/buffers"
+)
+
+// FormatVersion identifies the trace schema.
+const FormatVersion = 1
+
+// File is the on-disk representation of one allocator input, optionally
+// with a recorded solution.
+type File struct {
+	Version int      `json:"version"`
+	Name    string   `json:"name,omitempty"`
+	Memory  int64    `json:"memory"`
+	Buffers []Buffer `json:"buffers"`
+	// Offsets optionally records a packing (same order as Buffers).
+	Offsets []int64 `json:"offsets,omitempty"`
+}
+
+// Buffer is one buffer record.
+type Buffer struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	Size  int64 `json:"size"`
+	Align int64 `json:"align,omitempty"`
+}
+
+// FromProblem converts a problem (and optional solution) to a trace file.
+func FromProblem(p *buffers.Problem, sol *buffers.Solution) *File {
+	f := &File{Version: FormatVersion, Name: p.Name, Memory: p.Memory}
+	for _, b := range p.Buffers {
+		f.Buffers = append(f.Buffers, Buffer{Start: b.Start, End: b.End, Size: b.Size, Align: b.Align})
+	}
+	if sol != nil {
+		f.Offsets = append([]int64(nil), sol.Offsets...)
+	}
+	return f
+}
+
+// Problem converts the trace back to an allocation problem.
+func (f *File) Problem() (*buffers.Problem, error) {
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", f.Version)
+	}
+	p := &buffers.Problem{Name: f.Name, Memory: f.Memory}
+	for _, b := range f.Buffers {
+		p.Buffers = append(p.Buffers, buffers.Buffer{Start: b.Start, End: b.End, Size: b.Size, Align: b.Align})
+	}
+	p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return p, nil
+}
+
+// Solution returns the recorded packing, or nil if none was stored.
+func (f *File) Solution() *buffers.Solution {
+	if len(f.Offsets) == 0 {
+		return nil
+	}
+	return &buffers.Solution{Offsets: append([]int64(nil), f.Offsets...)}
+}
+
+// Write encodes the trace as indented JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read decodes a trace from JSON.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(f.Offsets) != 0 && len(f.Offsets) != len(f.Buffers) {
+		return nil, fmt.Errorf("trace: %d offsets for %d buffers", len(f.Offsets), len(f.Buffers))
+	}
+	return &f, nil
+}
+
+// Save writes the trace to path.
+func Save(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer out.Close()
+	if err := f.Write(out); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return out.Close()
+}
+
+// Load reads a trace from path.
+func Load(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer in.Close()
+	return Read(in)
+}
+
+// LoadProblem is a convenience wrapper returning the decoded problem.
+func LoadProblem(path string) (*buffers.Problem, error) {
+	f, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Problem()
+}

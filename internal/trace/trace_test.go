@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"telamalloc/internal/buffers"
+)
+
+func sampleProblem() *buffers.Problem {
+	p := &buffers.Problem{
+		Name:   "sample",
+		Memory: 1024,
+		Buffers: []buffers.Buffer{
+			{Start: 0, End: 5, Size: 128, Align: 32},
+			{Start: 3, End: 9, Size: 256},
+		},
+	}
+	p.Normalize()
+	return p
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sampleProblem()
+	sol := &buffers.Solution{Offsets: []int64{0, 128}}
+	var buf bytes.Buffer
+	if err := FromProblem(p, sol).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := f.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Memory != p.Memory || len(q.Buffers) != len(p.Buffers) {
+		t.Errorf("round trip lost data: %+v", q)
+	}
+	for i := range p.Buffers {
+		if q.Buffers[i] != p.Buffers[i] {
+			t.Errorf("buffer %d: %+v != %+v", i, q.Buffers[i], p.Buffers[i])
+		}
+	}
+	got := f.Solution()
+	if got == nil || got.Offsets[1] != 128 {
+		t.Errorf("solution lost: %+v", got)
+	}
+}
+
+func TestNoSolution(t *testing.T) {
+	f := FromProblem(sampleProblem(), nil)
+	if f.Solution() != nil {
+		t.Error("phantom solution")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	if err := Save(path, FromProblem(sampleProblem(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProblem(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sample" || len(p.Buffers) != 2 {
+		t.Errorf("loaded %+v", p)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestReadRejectsBadData(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"version":1,"memory":8,"buffers":[{"start":0,"end":1,"size":1}],"offsets":[1,2]}`)); err == nil {
+		t.Error("offset/buffer mismatch accepted")
+	}
+	f, err := Read(strings.NewReader(`{"version":99,"memory":8,"buffers":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Problem(); err == nil {
+		t.Error("unsupported version accepted")
+	}
+	bad, err := Read(strings.NewReader(`{"version":1,"memory":8,"buffers":[{"start":5,"end":2,"size":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Problem(); err == nil {
+		t.Error("invalid live range accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Package workload generates the allocator inputs used throughout the
+// evaluation. The paper drives its experiments with on-device traces from
+// eleven (partly proprietary) Pixel 6 models plus synthetic
+// microbenchmarks; since those traces are unavailable, this package rebuilds
+// each model as a seeded synthetic *proxy*: a dataflow graph whose
+// operators are scheduled in topological order and whose tensors' live
+// ranges run from producer to last consumer. What the allocator sees —
+// (start, end, size, alignment) tuples with the contention structure of the
+// original architecture family (chains, residual skips, multi-branch
+// inception blocks, U-Net long skips, multi-stage refinement) — matches the
+// shapes §8.1 of the paper describes.
+package workload
+
+import (
+	"math/rand"
+
+	"telamalloc/internal/buffers"
+)
+
+// OpID identifies an operator (and doubles as its logical timestamp).
+type OpID int64
+
+// TensorID identifies a tensor in a Graph.
+type TensorID int
+
+type tensor struct {
+	produced OpID
+	lastUse  OpID
+	size     int64
+	align    int64
+}
+
+// Graph builds an operator/tensor dataflow graph and lowers it to a
+// memory-allocation problem. Operators are issued in schedule order; each
+// Op call advances logical time by one slot.
+type Graph struct {
+	clock   OpID
+	tensors []tensor
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{clock: -1} }
+
+// Op schedules the next operator and returns its ID/timestamp.
+func (g *Graph) Op() OpID {
+	g.clock++
+	return g.clock
+}
+
+// Out declares that op produces a tensor of the given size and alignment.
+// The tensor is initially live for just the producing slot; Use extends it.
+func (g *Graph) Out(op OpID, size, align int64) TensorID {
+	g.tensors = append(g.tensors, tensor{produced: op, lastUse: op, size: size, align: align})
+	return TensorID(len(g.tensors) - 1)
+}
+
+// Use records that op consumes tensor t, extending its live range.
+func (g *Graph) Use(t TensorID, op OpID) {
+	if op > g.tensors[t].lastUse {
+		g.tensors[t].lastUse = op
+	}
+}
+
+// Scratch declares an operator-local scratch buffer live only during op.
+func (g *Graph) Scratch(op OpID, size, align int64) {
+	g.Out(op, size, align)
+}
+
+// Ops returns the number of operators scheduled so far.
+func (g *Graph) Ops() int64 { return int64(g.clock + 1) }
+
+// Problem lowers the graph to an allocation problem. Tensor live ranges are
+// [produced, lastUse+1) so that a tensor consumed at slot t is still
+// resident during t. Memory is left zero; callers size it (typically to a
+// ratio of the minimum required memory, as the paper does).
+func (g *Graph) Problem(name string) *buffers.Problem {
+	p := &buffers.Problem{Name: name}
+	for _, t := range g.tensors {
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: int64(t.produced),
+			End:   int64(t.lastUse) + 1,
+			Size:  t.size,
+			Align: t.align,
+		})
+	}
+	p.Normalize()
+	return p
+}
+
+// sizes helper: pick an alignment the way real kernels do — most tensors
+// unconstrained, a minority requiring vector-width multiples (§5.5).
+func pickAlign(rng *rand.Rand) int64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 32
+	case 1:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// kb converts kilobytes to bytes, the sizing unit used by the proxies.
+func kb(n int64) int64 { return n << 10 }

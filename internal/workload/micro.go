@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math/rand"
+
+	"telamalloc/internal/buffers"
+)
+
+// Microbenchmarks from §7.1 / Table 1. They require no backtracking and
+// characterise raw per-step cost: NonOverlapping exercises the case where
+// the CP solver has no pair constraints at all; FullOverlap makes the
+// constraint count grow quadratically.
+
+// NonOverlapping builds n buffers that never overlap in time, with ample
+// memory ("non-overlapping-N").
+func NonOverlapping(n int, seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "non-overlapping"}
+	var maxSize int64 = 1
+	for i := int64(0); i < int64(n); i++ {
+		size := kb(1 + rng.Int63n(64))
+		if size > maxSize {
+			maxSize = size
+		}
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: i,
+			End:   i + 1,
+			Size:  size,
+		})
+	}
+	p.Memory = maxSize * 2
+	p.Normalize()
+	return p
+}
+
+// FullOverlap builds n buffers that all fully overlap, with exactly enough
+// memory to stack them ("full-overlap-N").
+func FullOverlap(n int, seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "full-overlap"}
+	var total int64
+	for i := 0; i < n; i++ {
+		size := kb(1 + rng.Int63n(16))
+		total += size
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: 0,
+			End:   10,
+			Size:  size,
+		})
+	}
+	p.Memory = total
+	p.Normalize()
+	return p
+}
+
+// Random builds the mixed random instances used for the 1,192-configuration
+// ablation sweep (§7.2): phased workloads whose shape parameters vary with
+// the seed. Memory is set to ratioPct percent of the instance's contention
+// peak (the paper varies memory across configurations the same way).
+func Random(seed int64, ratioPct int) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "random"}
+	phases := 2 + rng.Intn(6)
+	perPhase := 6 + rng.Intn(18)
+	span := int64(8 + rng.Intn(16))
+	var clock int64
+	for ph := 0; ph < phases; ph++ {
+		for i := 0; i < perPhase; i++ {
+			start := clock + rng.Int63n(span)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start,
+				End:   start + 1 + rng.Int63n(span),
+				Size:  kb(1 + rng.Int63n(48)),
+				Align: pickAlign(rng),
+			})
+		}
+		clock += span
+		// Occasionally a long-lived buffer spanning multiple phases — the
+		// ingredient that makes instances hard.
+		if rng.Intn(2) == 0 {
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: clock - span,
+				End:   clock + span*int64(1+rng.Intn(3)),
+				Size:  kb(1 + rng.Int63n(24)),
+			})
+		}
+	}
+	p.Normalize()
+	peak := buffers.Contention(p).Peak()
+	p.Memory = peak * int64(ratioPct) / 100
+	if p.Memory < peak {
+		// Below-peak limits are trivially infeasible; clamp to peak so the
+		// sweep measures search effort, not input validation.
+		p.Memory = peak
+	}
+	return p
+}

@@ -1,0 +1,487 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"telamalloc/internal/buffers"
+)
+
+// Model is one named workload proxy. Generate builds the allocation problem
+// for the given seed; different seeds vary tensor sizes slightly (the way
+// recompiling a model with different settings would) while preserving the
+// architecture's live-range structure. Memory is left unset (0) — callers
+// size it relative to the minimum required memory, as §7 of the paper does.
+type Model struct {
+	Name string
+	// Hard marks models the paper identifies as challenging for solver
+	// baselines (the long tail).
+	Hard     bool
+	Generate func(seed int64) *buffers.Problem
+}
+
+// Models lists the eleven benchmark proxies of Figure 12/13 and Table 2,
+// in the paper's presentation order, plus SRGAN (§7.3's long-tail example).
+var Models = []Model{
+	{Name: "FPN Model", Generate: GenFPN},
+	{Name: "ConvNet2D", Generate: GenConvNet2D},
+	{Name: "Inception-ResNet", Generate: GenInceptionResNet},
+	{Name: "Face Detection", Generate: GenFaceDetection},
+	{Name: "OpenPose", Hard: true, Generate: GenOpenPose},
+	{Name: "StereoNet", Hard: true, Generate: GenStereoNet},
+	{Name: "Segmentation", Generate: GenSegmentation},
+	{Name: "ResNet-152", Generate: GenResNet152},
+	{Name: "Saliency Model", Generate: GenSaliency},
+	{Name: "Image Model 1", Hard: true, Generate: GenImageModel1},
+	{Name: "Image Model 2", Hard: true, Generate: GenImageModel2},
+	{Name: "SRGAN", Hard: true, Generate: GenSRGAN},
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range Models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("workload: unknown model %q", name)
+}
+
+// jitter scales base by a seed-dependent factor in [0.85, 1.15], keeping
+// sizes positive. It injects the run-to-run variation the paper attributes
+// to compiler settings and hardware configuration.
+func jitter(rng *rand.Rand, base int64) int64 {
+	f := 0.85 + 0.30*rng.Float64()
+	v := int64(float64(base) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// convChain emits a plain chain of n conv ops whose activations flow op to
+// op. Returns the last activation tensor.
+func convChain(g *Graph, rng *rand.Rand, n int, actKB int64) TensorID {
+	op := g.Op()
+	act := g.Out(op, kb(jitter(rng, actKB)), pickAlign(rng))
+	for i := 1; i < n; i++ {
+		op = g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, actKB)), pickAlign(rng))
+		// occasional im2col-style scratch
+		if rng.Intn(4) == 0 {
+			g.Scratch(op, kb(jitter(rng, actKB/2+1)), 0)
+		}
+	}
+	return act
+}
+
+// residualChain emits n residual blocks: each block's input skips over two
+// convs and is re-consumed at the add, extending its live range.
+func residualChain(g *Graph, rng *rand.Rand, n int, actKB int64) TensorID {
+	op := g.Op()
+	act := g.Out(op, kb(jitter(rng, actKB)), pickAlign(rng))
+	for i := 0; i < n; i++ {
+		c1 := g.Op()
+		g.Use(act, c1)
+		mid := g.Out(c1, kb(jitter(rng, actKB)), pickAlign(rng))
+		c2 := g.Op()
+		g.Use(mid, c2)
+		out := g.Out(c2, kb(jitter(rng, actKB)), pickAlign(rng))
+		add := g.Op()
+		g.Use(out, add)
+		g.Use(act, add) // the skip: input stays live across the block
+		act = g.Out(add, kb(jitter(rng, actKB)), pickAlign(rng))
+	}
+	return act
+}
+
+// inceptionBlock emits one multi-branch block: branches computed
+// back-to-back but all branch outputs stay live until the concat.
+func inceptionBlock(g *Graph, rng *rand.Rand, input TensorID, branches int, actKB int64) TensorID {
+	outs := make([]TensorID, 0, branches)
+	for b := 0; b < branches; b++ {
+		op := g.Op()
+		g.Use(input, op)
+		t := g.Out(op, kb(jitter(rng, actKB)), pickAlign(rng))
+		if rng.Intn(2) == 0 { // two-op branch
+			op2 := g.Op()
+			g.Use(t, op2)
+			t = g.Out(op2, kb(jitter(rng, actKB)), pickAlign(rng))
+		}
+		outs = append(outs, t)
+	}
+	concat := g.Op()
+	for _, t := range outs {
+		g.Use(t, concat)
+	}
+	return g.Out(concat, kb(jitter(rng, actKB*int64(branches)/2+1)), pickAlign(rng))
+}
+
+// GenFPN builds the Feature Pyramid Network proxy: a backbone with feature
+// maps at several scales that all stay live for the top-down pathway with
+// lateral connections.
+func GenFPN(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	// Backbone: 4 stages, each keeping its final feature map alive for the
+	// lateral connection.
+	laterals := make([]TensorID, 0, 4)
+	sizesKB := []int64{512, 256, 128, 64}
+	var act TensorID
+	for stage, s := range sizesKB {
+		n := 8 + rng.Intn(5)
+		if stage == 0 {
+			act = convChain(g, rng, n, s)
+		} else {
+			op := g.Op()
+			g.Use(act, op)
+			act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+			for i := 0; i < n; i++ {
+				op := g.Op()
+				g.Use(act, op)
+				act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+			}
+		}
+		laterals = append(laterals, act)
+	}
+	// Top-down pathway: consume laterals in reverse, merging upsampled maps.
+	var td TensorID
+	for i := len(laterals) - 1; i >= 0; i-- {
+		op := g.Op()
+		g.Use(laterals[i], op)
+		if i < len(laterals)-1 {
+			g.Use(td, op)
+		}
+		td = g.Out(op, kb(jitter(rng, sizesKB[i])), pickAlign(rng))
+		// Per-level head.
+		head := g.Op()
+		g.Use(td, head)
+		g.Out(head, kb(jitter(rng, sizesKB[i]/2+1)), 0)
+	}
+	return g.Problem("FPN Model")
+}
+
+// GenConvNet2D builds a plain 2D CNN: a deep chain with spatial
+// downsampling, little temporal overlap beyond adjacent ops.
+func GenConvNet2D(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	act := convChain(g, rng, 16, 768)
+	for _, s := range []int64{384, 192, 96, 48} {
+		op := g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+		next := convChain(g, rng, 10+rng.Intn(6), s)
+		join := g.Op()
+		g.Use(act, join)
+		g.Use(next, join)
+		act = g.Out(join, kb(jitter(rng, s)), pickAlign(rng))
+	}
+	fc := g.Op()
+	g.Use(act, fc)
+	g.Out(fc, kb(16), 0)
+	return g.Problem("ConvNet2D")
+}
+
+// GenInceptionResNet interleaves inception blocks with residual skips.
+func GenInceptionResNet(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	act := convChain(g, rng, 8, 384)
+	for stage := 0; stage < 3; stage++ {
+		size := []int64{256, 128, 64}[stage]
+		for block := 0; block < 8+rng.Intn(4); block++ {
+			out := inceptionBlock(g, rng, act, 3+rng.Intn(2), size)
+			add := g.Op()
+			g.Use(out, add)
+			g.Use(act, add) // residual skip
+			act = g.Out(add, kb(jitter(rng, size)), pickAlign(rng))
+		}
+	}
+	return g.Problem("Inception-ResNet")
+}
+
+// GenFaceDetection builds an SSD-style detector: a backbone plus detection
+// heads hanging off several intermediate feature maps, which therefore stay
+// live long past their position in the chain.
+func GenFaceDetection(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	taps := make([]TensorID, 0, 5)
+	act := convChain(g, rng, 12, 512)
+	taps = append(taps, act)
+	for _, s := range []int64{256, 128, 64, 32} {
+		op := g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+		for i := 0; i < 6+rng.Intn(4); i++ {
+			op := g.Op()
+			g.Use(act, op)
+			act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+		}
+		taps = append(taps, act)
+	}
+	// Heads: each tap feeds class + box convs near the end of the graph.
+	for _, tp := range taps {
+		for h := 0; h < 2; h++ {
+			op := g.Op()
+			g.Use(tp, op)
+			g.Out(op, kb(jitter(rng, 48)), 0)
+		}
+	}
+	return g.Problem("Face Detection")
+}
+
+// GenOpenPose reproduces the structure §8.1 highlights: one difficult
+// high-contention phase at the start (wide backbone features feeding both
+// initial branches), followed by repeated refinement stages that alternate
+// between high and low contention — the pattern contention-based grouping
+// exploits.
+func GenOpenPose(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	// VGG-style backbone with large, mutually overlapping feature maps:
+	// several maps stay live as inputs to both initial prediction branches.
+	feat := convChain(g, rng, 14, 640)
+	// The shared feature map F stays live through ALL refinement stages.
+	shareOp := g.Op()
+	g.Use(feat, shareOp)
+	shared := g.Out(shareOp, kb(jitter(rng, 256)), 32)
+	// Initial branches (PAFs + heatmaps) — heavy overlap with backbone tail.
+	var paf, heat TensorID
+	for b := 0; b < 2; b++ {
+		op := g.Op()
+		g.Use(shared, op)
+		t := g.Out(op, kb(jitter(rng, 320)), pickAlign(rng))
+		for i := 0; i < 3; i++ {
+			op := g.Op()
+			g.Use(t, op)
+			t = g.Out(op, kb(jitter(rng, 320)), pickAlign(rng))
+		}
+		if b == 0 {
+			paf = t
+		} else {
+			heat = t
+		}
+	}
+	// Refinement stages: concat(shared, paf, heat) -> two branches each.
+	for stage := 0; stage < 6; stage++ {
+		concat := g.Op()
+		g.Use(shared, concat)
+		g.Use(paf, concat)
+		g.Use(heat, concat)
+		cat := g.Out(concat, kb(jitter(rng, 448)), pickAlign(rng))
+		var outs [2]TensorID
+		for b := 0; b < 2; b++ {
+			op := g.Op()
+			g.Use(cat, op)
+			t := g.Out(op, kb(jitter(rng, 224)), pickAlign(rng))
+			for i := 0; i < 6; i++ {
+				op := g.Op()
+				g.Use(t, op)
+				t = g.Out(op, kb(jitter(rng, 224)), pickAlign(rng))
+			}
+			// Stage outputs (the PAF/heatmap predictions) are small; only
+			// they and the shared features cross the trough to the next
+			// stage, producing the high/low contention fluctuation of §8.1.
+			head := g.Op()
+			g.Use(t, head)
+			outs[b] = g.Out(head, kb(jitter(rng, 80)), 0)
+		}
+		paf, heat = outs[0], outs[1]
+	}
+	return g.Problem("OpenPose")
+}
+
+// GenStereoNet builds a siamese two-tower network with a large cost volume:
+// both towers' outputs and the cost volume overlap heavily, which is why
+// the heuristic needs 1.4x the optimal memory on it (Table 2).
+func GenStereoNet(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	// Two feature towers; the first tower's output must survive the second
+	// tower's entire execution.
+	left := convChain(g, rng, 14, 256)
+	right := convChain(g, rng, 14, 256)
+	// Cost volume: very large tensor built from both towers.
+	cv := g.Op()
+	g.Use(left, cv)
+	g.Use(right, cv)
+	vol := g.Out(cv, kb(jitter(rng, 1536)), 64)
+	// 3D conv aggregation over the volume with residual skips.
+	act := vol
+	for i := 0; i < 10; i++ {
+		op := g.Op()
+		g.Use(act, op)
+		out := g.Out(op, kb(jitter(rng, 768)), pickAlign(rng))
+		add := g.Op()
+		g.Use(out, add)
+		g.Use(vol, add) // long skip to the volume
+		act = g.Out(add, kb(jitter(rng, 768)), pickAlign(rng))
+	}
+	// Refinement on the disparity map.
+	convChain(g, rng, 9, 128)
+	ref := g.Op()
+	g.Use(act, ref)
+	g.Out(ref, kb(jitter(rng, 96)), 0)
+	return g.Problem("StereoNet")
+}
+
+// GenSegmentation builds a U-Net: encoder activations stay live across the
+// bottleneck until their decoder counterparts consume them.
+func GenSegmentation(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	skips := make([]TensorID, 0, 4)
+	act := convChain(g, rng, 6, 512)
+	for _, s := range []int64{256, 128, 64} {
+		skips = append(skips, act)
+		op := g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+		for i := 0; i < 5+rng.Intn(3); i++ {
+			op := g.Op()
+			g.Use(act, op)
+			act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+		}
+	}
+	// Decoder: consume skips in reverse order.
+	for i := len(skips) - 1; i >= 0; i-- {
+		up := g.Op()
+		g.Use(act, up)
+		g.Use(skips[i], up)
+		s := []int64{512, 256, 128}[i]
+		act = g.Out(up, kb(jitter(rng, s)), pickAlign(rng))
+		op := g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, s)), pickAlign(rng))
+	}
+	return g.Problem("Segmentation")
+}
+
+// GenResNet152 builds a long residual chain — many buffers but short,
+// regular live ranges, which is why the heuristic is fast yet
+// memory-hungry on it (Table 2: 1.24x, 0.6 ms).
+func GenResNet152(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	for _, cfg := range []struct {
+		blocks int
+		size   int64
+	}{{8, 256}, {12, 192}, {24, 128}, {6, 96}} {
+		residualChain(g, rng, cfg.blocks, cfg.size)
+	}
+	return g.Problem("ResNet-152")
+}
+
+// GenSaliency builds a compact encoder-decoder.
+func GenSaliency(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	enc := convChain(g, rng, 14, 320)
+	mid := residualChain(g, rng, 8, 160)
+	join := g.Op()
+	g.Use(enc, join)
+	g.Use(mid, join)
+	act := g.Out(join, kb(jitter(rng, 160)), pickAlign(rng))
+	for i := 0; i < 10; i++ {
+		op := g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, 200)), pickAlign(rng))
+	}
+	return g.Problem("Saliency Model")
+}
+
+// imageModel builds the "Image Model 1/2" proxies: large fused graphs with
+// heavy cross-layer overlap — the workloads the paper says were most
+// challenging for the ILP solver while staying within reach of TelaMalloc.
+func imageModel(name string, seed int64, stages int) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	// A global residual input that stays live for the whole model.
+	in := g.Op()
+	global := g.Out(in, kb(jitter(rng, 256)), 64)
+	var acts []TensorID
+	act := global
+	for s := 0; s < stages; s++ {
+		size := []int64{512, 384, 448, 320, 384, 512}[s%6]
+		out := inceptionBlock(g, rng, act, 3+rng.Intn(3), size)
+		acts = append(acts, out)
+		// Dense connections: a random earlier activation is re-consumed.
+		if len(acts) > 2 && rng.Intn(2) == 0 {
+			g.Use(acts[rng.Intn(len(acts)-1)], g.Op())
+		}
+		act = out
+	}
+	// Final fusion consumes the global skip.
+	fin := g.Op()
+	g.Use(act, fin)
+	g.Use(global, fin)
+	g.Out(fin, kb(jitter(rng, 256)), 0)
+	return renamed(g.Problem(name), name)
+}
+
+// GenImageModel1 is the first anonymized hard model proxy.
+func GenImageModel1(seed int64) *buffers.Problem { return imageModel("Image Model 1", seed, 18) }
+
+// GenImageModel2 is the second anonymized hard model proxy.
+func GenImageModel2(seed int64) *buffers.Problem {
+	return imageModel("Image Model 2", seed^0x5bd1e995, 22)
+}
+
+// GenSRGAN builds the super-resolution GAN generator used as the long-tail
+// example in §7.3: many residual blocks plus a global skip connection that
+// keeps the first feature map live for the entire network, followed by
+// upsampling stages with growing activations.
+func GenSRGAN(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	first := g.Op()
+	feat := g.Out(first, kb(jitter(rng, 384)), 32)
+	act := feat
+	for i := 0; i < 16; i++ {
+		c1 := g.Op()
+		g.Use(act, c1)
+		mid := g.Out(c1, kb(jitter(rng, 384)), pickAlign(rng))
+		c2 := g.Op()
+		g.Use(mid, c2)
+		out := g.Out(c2, kb(jitter(rng, 384)), pickAlign(rng))
+		add := g.Op()
+		g.Use(out, add)
+		g.Use(act, add)
+		act = g.Out(add, kb(jitter(rng, 384)), pickAlign(rng))
+	}
+	// Global skip: first feature map re-joins after every residual block.
+	gadd := g.Op()
+	g.Use(act, gadd)
+	g.Use(feat, gadd)
+	act = g.Out(gadd, kb(jitter(rng, 384)), pickAlign(rng))
+	// Upsampling: pixel-shuffle stages with 4x larger outputs.
+	for _, s := range []int64{768, 1536} {
+		op := g.Op()
+		g.Use(act, op)
+		act = g.Out(op, kb(jitter(rng, s)), 64)
+	}
+	fin := g.Op()
+	g.Use(act, fin)
+	g.Out(fin, kb(jitter(rng, 512)), 0)
+	return g.Problem("SRGAN")
+}
+
+func renamed(p *buffers.Problem, name string) *buffers.Problem {
+	p.Name = name
+	return p
+}
+
+// SortedNames returns the model names sorted alphabetically (handy for
+// stable experiment output).
+func SortedNames() []string {
+	names := make([]string, len(Models))
+	for i, m := range Models {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"telamalloc/internal/buffers"
+)
+
+// These tests pin the architecture-specific live-range *shapes* the proxies
+// exist to reproduce — the properties §8.1 of the paper ties to allocator
+// behaviour.
+
+func TestSegmentationHasLongSkipConnections(t *testing.T) {
+	// U-Net: encoder feature maps stay live until their decoder
+	// counterparts consume them, so several buffers must span a large
+	// fraction of the horizon.
+	p := GenSegmentation(1)
+	lo, hi := p.TimeHorizon()
+	horizon := hi - lo
+	long := 0
+	for _, b := range p.Buffers {
+		if b.Lifetime() >= horizon/3 {
+			long++
+		}
+	}
+	if long < 2 {
+		t.Errorf("only %d buffers span >= 1/3 of the horizon: U-Net skips missing", long)
+	}
+}
+
+func TestStereoNetHasDominantCostVolume(t *testing.T) {
+	// The cost volume dwarfs the feature maps and overlaps the aggregation
+	// stage, which is why StereoNet is the heuristic's worst case (Table 2).
+	p := GenStereoNet(1)
+	sizes := make([]int64, 0, len(p.Buffers))
+	var maxSize int64
+	for _, b := range p.Buffers {
+		sizes = append(sizes, b.Size)
+		if b.Size > maxSize {
+			maxSize = b.Size
+		}
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	median := sizes[len(sizes)/2]
+	if maxSize < 3*median {
+		t.Errorf("largest buffer %d not dominant vs median %d", maxSize, median)
+	}
+}
+
+func TestFaceDetectionTapsOutliveBackbone(t *testing.T) {
+	// SSD heads consume intermediate feature maps near the end of the
+	// graph, so some mid-graph tensors must have unusually long lifetimes.
+	p := GenFaceDetection(1)
+	lo, hi := p.TimeHorizon()
+	horizon := hi - lo
+	extended := 0
+	for _, b := range p.Buffers {
+		if b.Start > lo+horizon/10 && b.End > hi-horizon/5 && b.Lifetime() > horizon/3 {
+			extended++
+		}
+	}
+	if extended < 2 {
+		t.Errorf("only %d mid-graph tensors survive to the heads", extended)
+	}
+}
+
+func TestResNetLivesAreShortAndRegular(t *testing.T) {
+	// Residual chains have short skips: no buffer should span a large
+	// fraction of the horizon, which is why the heuristic is fast on it.
+	p := GenResNet152(1)
+	lo, hi := p.TimeHorizon()
+	horizon := hi - lo
+	for _, b := range p.Buffers {
+		if b.Lifetime() > horizon/4 {
+			t.Errorf("ResNet buffer with lifetime %d of horizon %d: unexpected long skip", b.Lifetime(), horizon)
+			break
+		}
+	}
+}
+
+func TestImageModelsDenserThanConvNet(t *testing.T) {
+	// The anonymized "hard" models carry much more temporal overlap per
+	// buffer than a plain CNN — that is what made them hard for the ILP.
+	dense := buffers.ComputeOverlaps(GenImageModel1(1))
+	plain := buffers.ComputeOverlaps(GenConvNet2D(1))
+	dAvg := float64(2*dense.PairCount) / float64(len(dense.Neighbors))
+	pAvg := float64(2*plain.PairCount) / float64(len(plain.Neighbors))
+	if dAvg <= pAvg {
+		t.Errorf("Image Model 1 avg degree %.1f not denser than ConvNet2D %.1f", dAvg, pAvg)
+	}
+}
+
+func TestMicrobenchmarkSizesMatchPaper(t *testing.T) {
+	if n := len(NonOverlapping(1000, 1).Buffers); n != 1000 {
+		t.Errorf("non-overlapping-1K has %d buffers", n)
+	}
+	if n := len(FullOverlap(100, 1).Buffers); n != 100 {
+		t.Errorf("full-overlap-100 has %d buffers", n)
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math/rand"
+
+	"telamalloc/internal/buffers"
+)
+
+// Stress-scale proxies. The Pixel 6 benchmark set (Models) stays at
+// compile-friendly sizes; these generators produce the thousands-of-buffers
+// problems the paper says are typical ("most real-world examples have a
+// much larger number of buffers, typically in the thousands", §3) and the
+// transformer-style graphs that dominate TPUv4 workloads.
+
+// StressModels lists the large proxies used by scaling tests and benches.
+var StressModels = []Model{
+	{Name: "Transformer-24L", Hard: true, Generate: GenTransformer},
+	{Name: "MobileNet-Large", Generate: GenMobileNet},
+	{Name: "DeepChain-2K", Generate: GenDeepChain},
+}
+
+// GenTransformer builds a 24-layer encoder proxy: per layer, Q/K/V
+// projections (all live until attention), a large attention-score tensor,
+// the context projection, a residual add, and a 4x-wide MLP with its own
+// residual. The layer input stays live across the whole layer (two skips),
+// giving the dense overlap structure attention workloads are known for.
+func GenTransformer(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	const layers = 24
+	hidden := int64(96)  // KB per activation tensor
+	scores := int64(384) // KB for the attention matrix
+
+	in := g.Op()
+	act := g.Out(in, kb(jitter(rng, hidden)), 64)
+	for l := 0; l < layers; l++ {
+		// Q, K, V projections: all three live until the attention ops.
+		var qkv [3]TensorID
+		for i := range qkv {
+			op := g.Op()
+			g.Use(act, op)
+			qkv[i] = g.Out(op, kb(jitter(rng, hidden)), 32)
+		}
+		// Scores = Q K^T — the big one; consumes Q and K.
+		scoreOp := g.Op()
+		g.Use(qkv[0], scoreOp)
+		g.Use(qkv[1], scoreOp)
+		score := g.Out(scoreOp, kb(jitter(rng, scores)), 64)
+		// Softmax in place-ish: new tensor of the same shape.
+		smOp := g.Op()
+		g.Use(score, smOp)
+		sm := g.Out(smOp, kb(jitter(rng, scores)), 0)
+		// Context = softmax · V.
+		ctxOp := g.Op()
+		g.Use(sm, ctxOp)
+		g.Use(qkv[2], ctxOp)
+		ctx := g.Out(ctxOp, kb(jitter(rng, hidden)), 32)
+		// Output projection + residual with the layer input.
+		projOp := g.Op()
+		g.Use(ctx, projOp)
+		proj := g.Out(projOp, kb(jitter(rng, hidden)), 0)
+		add1 := g.Op()
+		g.Use(proj, add1)
+		g.Use(act, add1) // first residual skip
+		mid := g.Out(add1, kb(jitter(rng, hidden)), 0)
+		// MLP: up-projection (4x), activation, down-projection, residual.
+		upOp := g.Op()
+		g.Use(mid, upOp)
+		up := g.Out(upOp, kb(jitter(rng, hidden*4)), 64)
+		gelOp := g.Op()
+		g.Use(up, gelOp)
+		gel := g.Out(gelOp, kb(jitter(rng, hidden*4)), 0)
+		downOp := g.Op()
+		g.Use(gel, downOp)
+		down := g.Out(downOp, kb(jitter(rng, hidden)), 0)
+		add2 := g.Op()
+		g.Use(down, add2)
+		g.Use(mid, add2) // second residual skip
+		act = g.Out(add2, kb(jitter(rng, hidden)), 0)
+	}
+	return g.Problem("Transformer-24L")
+}
+
+// GenMobileNet builds an inverted-residual chain: each block expands to a
+// wide tensor, depthwise-convolves it, projects back down, and adds a skip.
+// Many blocks, moderate overlap — a contrast to the transformer.
+func GenMobileNet(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	stages := []struct {
+		blocks int
+		narrow int64 // KB
+		expand int64 // KB
+	}{
+		{4, 128, 512}, {6, 96, 448}, {8, 64, 384}, {6, 48, 256}, {4, 32, 160},
+	}
+	op := g.Op()
+	act := g.Out(op, kb(jitter(rng, 160)), 32)
+	for _, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			expOp := g.Op()
+			g.Use(act, expOp)
+			exp := g.Out(expOp, kb(jitter(rng, st.expand)), pickAlign(rng))
+			dwOp := g.Op()
+			g.Use(exp, dwOp)
+			dw := g.Out(dwOp, kb(jitter(rng, st.expand)), pickAlign(rng))
+			prOp := g.Op()
+			g.Use(dw, prOp)
+			pr := g.Out(prOp, kb(jitter(rng, st.narrow)), 0)
+			add := g.Op()
+			g.Use(pr, add)
+			g.Use(act, add)
+			act = g.Out(add, kb(jitter(rng, st.narrow)), 0)
+		}
+	}
+	return g.Problem("MobileNet-Large")
+}
+
+// GenDeepChain builds a ~2,000-buffer chain with occasional short skips —
+// the regime where model size, not search difficulty, dominates allocator
+// cost (Table 1's scaling axis on a realistic shape).
+func GenDeepChain(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	op := g.Op()
+	act := g.Out(op, kb(jitter(rng, 64)), 0)
+	prev := act
+	for i := 0; i < 1900; i++ {
+		op := g.Op()
+		g.Use(act, op)
+		if i%7 == 0 {
+			g.Use(prev, op) // short skip
+		}
+		prev = act
+		act = g.Out(op, kb(1+rng.Int63n(64)), pickAlign(rng))
+	}
+	return g.Problem("DeepChain-2K")
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+)
+
+func TestStressModelsScale(t *testing.T) {
+	want := map[string]int{
+		"Transformer-24L": 280,
+		"MobileNet-Large": 100,
+		"DeepChain-2K":    1800,
+	}
+	for _, m := range StressModels {
+		p := m.Generate(1)
+		if len(p.Buffers) < want[m.Name] {
+			t.Errorf("%s: %d buffers, want >= %d", m.Name, len(p.Buffers), want[m.Name])
+		}
+		q := p.Clone()
+		q.Memory = q.TotalBytes()
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTransformerScoresDominate(t *testing.T) {
+	// Attention-score tensors must be the largest buffers, several times
+	// the hidden activations.
+	p := GenTransformer(1)
+	var maxSize int64
+	for _, b := range p.Buffers {
+		if b.Size > maxSize {
+			maxSize = b.Size
+		}
+	}
+	small := 0
+	for _, b := range p.Buffers {
+		if b.Size*3 < maxSize {
+			small++
+		}
+	}
+	if small < len(p.Buffers)/2 {
+		t.Errorf("score tensors not dominant: only %d/%d buffers are small", small, len(p.Buffers))
+	}
+}
+
+func TestStressModelsDeterministic(t *testing.T) {
+	for _, m := range StressModels {
+		a, b := m.Generate(3), m.Generate(3)
+		if len(a.Buffers) != len(b.Buffers) {
+			t.Fatalf("%s nondeterministic", m.Name)
+		}
+		for i := range a.Buffers {
+			if a.Buffers[i] != b.Buffers[i] {
+				t.Fatalf("%s: buffer %d differs", m.Name, i)
+			}
+		}
+	}
+}
+
+func TestMobileNetBlockStructure(t *testing.T) {
+	// Inverted residuals: expanded tensors noticeably larger than the
+	// narrow block outputs.
+	p := GenMobileNet(1)
+	var sizes []int64
+	for _, b := range p.Buffers {
+		sizes = append(sizes, b.Size)
+	}
+	var mx, mn int64 = 0, 1 << 62
+	for _, s := range sizes {
+		if s > mx {
+			mx = s
+		}
+		if s < mn {
+			mn = s
+		}
+	}
+	if mx < 4*mn {
+		t.Errorf("expansion ratio too flat: max %d vs min %d", mx, mn)
+	}
+}
+
+func TestDeepChainIsAllocatorFriendlyAtPeak(t *testing.T) {
+	// Short lifetimes mean the greedy heuristic should need very little
+	// headroom over the contention peak on the deep chain.
+	p := GenDeepChain(1)
+	peak := buffers.Contention(p).Peak()
+	if peak <= 0 {
+		t.Fatal("no contention")
+	}
+	ov := buffers.ComputeOverlaps(p)
+	avgDeg := float64(2*ov.PairCount) / float64(len(p.Buffers))
+	if avgDeg > 8 {
+		t.Errorf("deep chain too entangled: avg degree %.1f", avgDeg)
+	}
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+)
+
+func TestGraphLowering(t *testing.T) {
+	g := NewGraph()
+	op0 := g.Op()
+	a := g.Out(op0, 100, 32)
+	op1 := g.Op()
+	g.Use(a, op1)
+	b := g.Out(op1, 200, 0)
+	op2 := g.Op()
+	g.Use(a, op2) // a consumed twice; lives to op2
+	g.Use(b, op2)
+	g.Scratch(op2, 50, 0)
+	p := g.Problem("test")
+	if len(p.Buffers) != 3 {
+		t.Fatalf("got %d buffers, want 3", len(p.Buffers))
+	}
+	// a: produced op0, last use op2 -> [0, 3)
+	if p.Buffers[0].Start != 0 || p.Buffers[0].End != 3 {
+		t.Errorf("a live range [%d,%d), want [0,3)", p.Buffers[0].Start, p.Buffers[0].End)
+	}
+	if p.Buffers[0].Align != 32 || p.Buffers[0].Size != 100 {
+		t.Errorf("a = %+v", p.Buffers[0])
+	}
+	// b: produced op1, last use op2 -> [1, 3)
+	if p.Buffers[1].Start != 1 || p.Buffers[1].End != 3 {
+		t.Errorf("b live range [%d,%d), want [1,3)", p.Buffers[1].Start, p.Buffers[1].End)
+	}
+	// scratch: [2, 3)
+	if p.Buffers[2].Start != 2 || p.Buffers[2].End != 3 {
+		t.Errorf("scratch live range [%d,%d), want [2,3)", p.Buffers[2].Start, p.Buffers[2].End)
+	}
+	if g.Ops() != 3 {
+		t.Errorf("Ops = %d, want 3", g.Ops())
+	}
+}
+
+func TestAllModelsGenerateValidProblems(t *testing.T) {
+	for _, m := range Models {
+		p := m.Generate(1)
+		if len(p.Buffers) == 0 {
+			t.Errorf("%s: no buffers", m.Name)
+			continue
+		}
+		if p.Name != m.Name {
+			t.Errorf("%s: problem named %q", m.Name, p.Name)
+		}
+		// Structural sanity at a generous memory limit.
+		q := p.Clone()
+		q.Memory = q.TotalBytes()
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: invalid problem: %v", m.Name, err)
+		}
+		for i, b := range p.Buffers {
+			if b.ID != i {
+				t.Errorf("%s: not normalized", m.Name)
+				break
+			}
+		}
+	}
+}
+
+func TestModelsAreDeterministicPerSeed(t *testing.T) {
+	for _, m := range Models {
+		a := m.Generate(7)
+		b := m.Generate(7)
+		if len(a.Buffers) != len(b.Buffers) {
+			t.Errorf("%s: nondeterministic buffer count", m.Name)
+			continue
+		}
+		for i := range a.Buffers {
+			if a.Buffers[i] != b.Buffers[i] {
+				t.Errorf("%s: buffer %d differs across identical seeds", m.Name, i)
+				break
+			}
+		}
+		c := m.Generate(8)
+		same := len(a.Buffers) == len(c.Buffers)
+		if same {
+			identical := true
+			for i := range a.Buffers {
+				if a.Buffers[i] != c.Buffers[i] {
+					identical = false
+					break
+				}
+			}
+			if identical {
+				t.Errorf("%s: different seeds produced identical problems", m.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("OpenPose")
+	if err != nil || m.Name != "OpenPose" {
+		t.Errorf("ByName(OpenPose) = %v, %v", m.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+	if got := len(SortedNames()); got != len(Models) {
+		t.Errorf("SortedNames has %d entries", got)
+	}
+}
+
+func TestOpenPoseHasPhasedContention(t *testing.T) {
+	// §8.1: OpenPose has one high-contention phase at the beginning
+	// followed by fluctuations between high and low contention.
+	p := GenOpenPose(1)
+	prof := buffers.Contention(p)
+	peak := prof.Peak()
+	// Count transitions between above-60%-of-peak and below-40%-of-peak.
+	transitions := 0
+	state := 0 // 1 high, -1 low
+	for _, s := range prof.Steps {
+		var ns int
+		switch {
+		case s.Contention >= peak*6/10:
+			ns = 1
+		case s.Contention <= peak*4/10:
+			ns = -1
+		default:
+			continue
+		}
+		if ns != state && state != 0 {
+			transitions++
+		}
+		state = ns
+	}
+	if transitions < 3 {
+		t.Errorf("OpenPose profile has only %d high/low transitions, want fluctuation", transitions)
+	}
+}
+
+func TestSRGANHasGlobalSkip(t *testing.T) {
+	// The first feature map must stay live for most of the network.
+	p := GenSRGAN(1)
+	_, horizon := p.TimeHorizon()
+	var longest int64
+	for _, b := range p.Buffers {
+		if l := b.Lifetime(); l > longest {
+			longest = l
+		}
+	}
+	if longest < horizon/2 {
+		t.Errorf("longest lifetime %d < half the horizon %d: global skip missing", longest, horizon)
+	}
+}
+
+func TestNonOverlapping(t *testing.T) {
+	p := NonOverlapping(100, 1)
+	ov := buffers.ComputeOverlaps(p)
+	if ov.PairCount != 0 {
+		t.Errorf("PairCount = %d, want 0", ov.PairCount)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullOverlap(t *testing.T) {
+	p := FullOverlap(50, 1)
+	ov := buffers.ComputeOverlaps(p)
+	if want := 50 * 49 / 2; ov.PairCount != want {
+		t.Errorf("PairCount = %d, want %d", ov.PairCount, want)
+	}
+	if p.Memory != p.TotalBytes() {
+		t.Errorf("Memory %d != total %d: must exactly fit", p.Memory, p.TotalBytes())
+	}
+}
+
+func TestRandomInstances(t *testing.T) {
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 20; seed++ {
+		p := Random(seed, 110)
+		if err := p.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		peak := buffers.Contention(p).Peak()
+		if p.Memory < peak {
+			t.Errorf("seed %d: memory %d below peak %d", seed, p.Memory, peak)
+		}
+		seen[len(p.Buffers)] = true
+	}
+	if len(seen) < 5 {
+		t.Error("random instances lack size diversity")
+	}
+	// ratioPct below 100 clamps to the peak.
+	p := Random(3, 50)
+	if p.Memory != buffers.Contention(p).Peak() {
+		t.Errorf("sub-peak ratio not clamped: %d", p.Memory)
+	}
+}
+
+func TestModelScale(t *testing.T) {
+	// The proxies should be non-trivial: at least dozens of buffers each,
+	// hundreds for the big ones.
+	minBuffers := map[string]int{
+		"ResNet-152": 150,
+		"OpenPose":   60,
+		"SRGAN":      40,
+	}
+	for _, m := range Models {
+		p := m.Generate(1)
+		want := 20
+		if w, ok := minBuffers[m.Name]; ok {
+			want = w
+		}
+		if len(p.Buffers) < want {
+			t.Errorf("%s: only %d buffers, want >= %d", m.Name, len(p.Buffers), want)
+		}
+	}
+}

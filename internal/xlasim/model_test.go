@@ -1,0 +1,94 @@
+package xlasim
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/workload"
+)
+
+func TestSpeedupGrowsWithMemoryBoundedness(t *testing.T) {
+	// The same model at increasing memory-boundedness: whatever gap exists
+	// between the two repackers' memory traffic, its effect on program time
+	// must be amplified as compute shrinks — |speedup − 1| is monotone in
+	// memory-boundedness (the assignments themselves don't depend on it).
+	m := workload.Models[4] // OpenPose: repacker-sensitive
+	gc := heuristics.GreedyContention{}
+	bf := heuristics.BestFit{}
+	var prev float64
+	for i, mb := range []int{20, 50, 90} {
+		prog := FromWorkload(m, 3, 100, mb)
+		dev := Speedup(prog, gc, bf) - 1
+		if dev < 0 {
+			dev = -dev
+		}
+		if i > 0 && dev < prev-1e-9 {
+			t.Errorf("|speedup-1| shrank with memory-boundedness: %.5f -> %.5f at %d%%", prev, dev, mb)
+		}
+		prev = dev
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	prog := FromWorkload(workload.Models[1], 9, 100, 60)
+	a := Assign(prog, heuristics.GreedyContention{})
+	b := Assign(prog, heuristics.GreedyContention{})
+	if a.PackedBytes != b.PackedBytes || a.RepackCalls != b.RepackCalls {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			t.Fatalf("offsets differ at %d", i)
+		}
+	}
+}
+
+func TestAssignNeverOverlapsPromotedBuffers(t *testing.T) {
+	// Stronger validity check across several models/seeds: the promoted set
+	// must always be a valid packing in SRAM.
+	for _, m := range workload.Models[:4] {
+		for seed := int64(1); seed <= 2; seed++ {
+			prog := FromWorkload(m, seed, 100, 70)
+			a := Assign(prog, heuristics.GreedyContention{})
+			var ids []int
+			for i, in := range a.InSRAM {
+				if in {
+					ids = append(ids, i)
+				}
+			}
+			sub, back := subProblem(prog, ids)
+			if len(sub.Buffers) == 0 {
+				continue
+			}
+			offs := make([]int64, len(ids))
+			for subID := range ids {
+				offs[subID] = a.Offsets[back[subID]]
+			}
+			s := solution(offs)
+			if err := s.Validate(sub); err != nil {
+				t.Errorf("%s seed %d: invalid SRAM layout: %v", m.Name, seed, err)
+			}
+		}
+	}
+}
+
+func TestHBMCostSanity(t *testing.T) {
+	prog := FromWorkload(workload.Models[0], 1, 100, 50)
+	if prog.HBMCost <= 1 {
+		t.Errorf("HBMCost = %g, must exceed 1 for SRAM promotion to matter", prog.HBMCost)
+	}
+	if len(prog.Buffers) == 0 {
+		t.Fatal("no buffers")
+	}
+	for _, b := range prog.Buffers {
+		if b.Accesses <= 0 {
+			t.Fatalf("buffer with non-positive accesses: %+v", b)
+		}
+	}
+}
+
+// solution is a tiny helper building a buffers.Solution from offsets.
+func solution(offs []int64) *buffers.Solution {
+	return &buffers.Solution{Offsets: offs}
+}

@@ -1,0 +1,202 @@
+// Package xlasim simulates the XLA memory-space-assignment loop that
+// TelaMalloc plugs into on TPUv4 (§2.3, §5.6, §7.4): the compiler
+// opportunistically promotes access-intensive buffers into on-chip SRAM
+// (CMEM), calling a *repacker* — the pluggable allocator — whenever the
+// incremental placement runs out of space. Kernels then read promoted
+// buffers from SRAM instead of HBM, so a repacker that packs more
+// hot bytes into the same SRAM yields real program speedup (Figure 18).
+//
+// The simulator reproduces that causal chain with an analytic performance
+// model: program time = compute time + Σ accesses×size×(memory cost), with
+// SRAM accesses cheaper than HBM by a fixed factor. Absolute times are
+// arbitrary; the *ratio* between two repackers is the quantity Figure 18
+// reports.
+package xlasim
+
+import (
+	"math/rand"
+	"sort"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/intervals"
+	"telamalloc/internal/workload"
+)
+
+// Buffer is a program buffer: an allocation-problem buffer plus its access
+// intensity (how many times each byte is touched during execution).
+type Buffer struct {
+	buffers.Buffer
+	// Accesses is the per-byte access count; promoting high-Accesses
+	// buffers to SRAM saves the most HBM traffic.
+	Accesses int64
+}
+
+// Program is one XLA-compiled model for the simulator.
+type Program struct {
+	Name    string
+	Buffers []Buffer
+	// SRAM is the CMEM capacity available for promotion.
+	SRAM int64
+	// HBMCost is the per-byte-access cost multiplier of HBM relative to
+	// SRAM (always > 1).
+	HBMCost float64
+	// Compute is the memory-independent execution time component; larger
+	// values make the model less memory-bound (muting repacker impact, as
+	// the paper notes for some models).
+	Compute float64
+}
+
+// Assignment is the outcome of the promotion loop.
+type Assignment struct {
+	// InSRAM[i] reports whether buffer i was promoted.
+	InSRAM []bool
+	// Offsets[i] is the SRAM address of promoted buffer i (-1 otherwise).
+	Offsets []int64
+	// RepackCalls counts repacker invocations.
+	RepackCalls int
+	// PackedBytes is the total size of promoted buffers.
+	PackedBytes int64
+}
+
+// MaxRepacks caps repacker invocations per assignment, mirroring the
+// paper's "runs up to 50 times" inner loop.
+const MaxRepacks = 50
+
+// Assign runs the promotion loop with the given repacker. Buffers are
+// considered in decreasing access intensity. Each candidate is first
+// appended into the current layout without moving anything; if that fails,
+// the repacker re-packs the whole promoted set plus the candidate. If the
+// repacker also fails (or the repack budget is exhausted), the candidate
+// stays in HBM.
+func Assign(prog *Program, repacker heuristics.Allocator) Assignment {
+	n := len(prog.Buffers)
+	a := Assignment{InSRAM: make([]bool, n), Offsets: make([]int64, n)}
+	for i := range a.Offsets {
+		a.Offsets[i] = -1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		bx, by := prog.Buffers[order[x]], prog.Buffers[order[y]]
+		if bx.Accesses != by.Accesses {
+			return bx.Accesses > by.Accesses
+		}
+		return order[x] < order[y]
+	})
+	var chosen []int
+	for _, cand := range order {
+		b := prog.Buffers[cand]
+		if b.Size > prog.SRAM {
+			continue
+		}
+		if pos, ok := appendFit(prog, a.Offsets, chosen, cand); ok {
+			a.Offsets[cand] = pos
+			a.InSRAM[cand] = true
+			a.PackedBytes += b.Size
+			chosen = append(chosen, cand)
+			continue
+		}
+		if a.RepackCalls >= MaxRepacks {
+			continue
+		}
+		a.RepackCalls++
+		trial := append(append([]int(nil), chosen...), cand)
+		sub, back := subProblem(prog, trial)
+		sol, err := repacker.Allocate(sub)
+		if err != nil {
+			continue // candidate stays in HBM
+		}
+		for subID, off := range sol.Offsets {
+			a.Offsets[back[subID]] = off
+		}
+		a.InSRAM[cand] = true
+		a.PackedBytes += b.Size
+		chosen = trial
+	}
+	return a
+}
+
+// appendFit tries to place candidate cand into the current layout without
+// moving any promoted buffer: the lowest gap among temporally overlapping
+// promoted buffers.
+func appendFit(prog *Program, offsets []int64, chosen []int, cand int) (int64, bool) {
+	b := prog.Buffers[cand]
+	occ := make([]intervals.Interval, 0, len(chosen))
+	for _, id := range chosen {
+		o := prog.Buffers[id]
+		if b.OverlapsInTime(o.Buffer) {
+			occ = append(occ, intervals.Interval{Lo: offsets[id], Hi: offsets[id] + o.Size})
+		}
+	}
+	merged := intervals.SortAndMerge(occ)
+	return intervals.LowestFit(merged, b.Size, b.Align, 0, prog.SRAM)
+}
+
+// subProblem builds the allocation problem for the given buffer IDs.
+func subProblem(prog *Program, ids []int) (*buffers.Problem, []int) {
+	p := &buffers.Problem{Name: prog.Name, Memory: prog.SRAM}
+	back := make([]int, len(ids))
+	for newID, id := range ids {
+		p.Buffers = append(p.Buffers, prog.Buffers[id].Buffer)
+		back[newID] = id
+	}
+	p.Normalize()
+	return p, back
+}
+
+// ExecTime evaluates the analytic performance model for an assignment.
+func (prog *Program) ExecTime(a Assignment) float64 {
+	var traffic float64
+	for i, b := range prog.Buffers {
+		bytes := float64(b.Accesses) * float64(b.Size)
+		if a.InSRAM[i] {
+			traffic += bytes
+		} else {
+			traffic += bytes * prog.HBMCost
+		}
+	}
+	return prog.Compute + traffic
+}
+
+// Speedup returns time(base repacker) / time(test repacker) for the
+// program — the y-axis of Figure 18 (values > 1 mean test wins).
+func Speedup(prog *Program, test, base heuristics.Allocator) float64 {
+	at := Assign(prog, test)
+	ab := Assign(prog, base)
+	return prog.ExecTime(ab) / prog.ExecTime(at)
+}
+
+// FromWorkload converts a workload model into a simulator program. The
+// SRAM is sized to ratioPct percent of the model's contention peak (so
+// promotion is contended), and access intensities follow a heavy-tailed
+// distribution: a minority of buffers are very hot, as in real programs.
+// memBoundPct (0..100) controls how memory-bound the program is.
+func FromWorkload(m workload.Model, seed int64, ratioPct int, memBoundPct int) *Program {
+	p := m.Generate(seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	prog := &Program{Name: m.Name, HBMCost: 8}
+	var traffic float64
+	for _, b := range p.Buffers {
+		acc := int64(1 + rng.Intn(4))
+		if rng.Intn(4) == 0 {
+			acc *= int64(8 + rng.Intn(32)) // hot buffer
+		}
+		prog.Buffers = append(prog.Buffers, Buffer{Buffer: b, Accesses: acc})
+		traffic += float64(acc) * float64(b.Size)
+	}
+	peak := buffers.Contention(p).Peak()
+	prog.SRAM = peak * int64(ratioPct) / 100
+	if memBoundPct <= 0 {
+		memBoundPct = 50
+	}
+	if memBoundPct > 100 {
+		memBoundPct = 100
+	}
+	// Compute time such that memory traffic at full-HBM cost accounts for
+	// memBoundPct of total time.
+	prog.Compute = traffic * prog.HBMCost * float64(100-memBoundPct) / float64(memBoundPct)
+	return prog
+}

@@ -1,0 +1,129 @@
+package xlasim
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/workload"
+)
+
+// makeProgram builds a small deterministic program.
+func makeProgram() *Program {
+	prog := &Program{Name: "t", SRAM: 8, HBMCost: 5, Compute: 0}
+	add := func(start, end, size, acc int64) {
+		prog.Buffers = append(prog.Buffers, Buffer{
+			Buffer:   buffers.Buffer{ID: len(prog.Buffers), Start: start, End: end, Size: size},
+			Accesses: acc,
+		})
+	}
+	add(0, 10, 4, 100) // hot, fits
+	add(0, 10, 4, 50)  // second
+	add(0, 10, 4, 10)  // doesn't fit with the other two
+	add(20, 30, 8, 5)  // different epoch, fits alone
+	return prog
+}
+
+func TestAssignPromotesHottestFirst(t *testing.T) {
+	prog := makeProgram()
+	a := Assign(prog, heuristics.GreedyContention{})
+	if !a.InSRAM[0] || !a.InSRAM[1] {
+		t.Errorf("hot buffers not promoted: %+v", a.InSRAM)
+	}
+	if a.InSRAM[2] {
+		t.Error("third overlapping buffer promoted despite full SRAM")
+	}
+	if !a.InSRAM[3] {
+		t.Error("temporally disjoint buffer not promoted")
+	}
+	if a.PackedBytes != 16 {
+		t.Errorf("PackedBytes = %d, want 16", a.PackedBytes)
+	}
+	// Promoted buffers must form a valid packing.
+	var ids []int
+	for i, in := range a.InSRAM {
+		if in {
+			ids = append(ids, i)
+		}
+	}
+	sub, back := subProblem(prog, ids)
+	sol := buffers.NewSolution(len(ids))
+	for subID := range ids {
+		sol.Offsets[subID] = a.Offsets[back[subID]]
+	}
+	if err := sol.Validate(sub); err != nil {
+		t.Errorf("invalid SRAM layout: %v", err)
+	}
+}
+
+func TestExecTimeModel(t *testing.T) {
+	prog := makeProgram()
+	none := Assignment{InSRAM: make([]bool, len(prog.Buffers))}
+	all := Assignment{InSRAM: []bool{true, true, true, true}}
+	tNone := prog.ExecTime(none)
+	tAll := prog.ExecTime(all)
+	if tAll >= tNone {
+		t.Errorf("SRAM promotion did not reduce time: %g vs %g", tAll, tNone)
+	}
+	// Exactly HBMCost ratio when compute is zero.
+	if tNone/tAll != prog.HBMCost {
+		t.Errorf("ratio = %g, want %g", tNone/tAll, prog.HBMCost)
+	}
+}
+
+func TestSpeedupTelaMallocVsBestFit(t *testing.T) {
+	// Across the workload suite, the TelaMalloc repacker must never be
+	// slower than best-fit (same promotion loop, strictly better packer)
+	// and should win on at least one model. This is Figure 18's shape.
+	tm := core.Allocator{Config: core.Config{MaxSteps: 50000}}
+	bf := heuristics.BestFit{}
+	wins := 0
+	for _, m := range workload.Models[:6] {
+		prog := FromWorkload(m, 3, 100, 70)
+		s := Speedup(prog, tm, bf)
+		if s < 0.999 {
+			t.Errorf("%s: TelaMalloc repacker slower than best-fit: %.4f", m.Name, s)
+		}
+		if s > 1.001 {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("TelaMalloc repacker never beat best-fit on any model")
+	}
+}
+
+func TestRepackBudgetRespected(t *testing.T) {
+	prog := FromWorkload(workload.Models[0], 1, 90, 80)
+	a := Assign(prog, heuristics.GreedyContention{})
+	if a.RepackCalls > MaxRepacks {
+		t.Errorf("RepackCalls = %d exceeds cap %d", a.RepackCalls, MaxRepacks)
+	}
+}
+
+func TestFromWorkloadMemBoundedness(t *testing.T) {
+	hot := FromWorkload(workload.Models[0], 1, 100, 100)
+	cold := FromWorkload(workload.Models[0], 1, 100, 10)
+	if hot.Compute != 0 {
+		t.Errorf("fully memory-bound program has compute %g", hot.Compute)
+	}
+	if cold.Compute <= 0 {
+		t.Error("compute-bound program has no compute component")
+	}
+	if hot.SRAM <= 0 {
+		t.Error("SRAM not sized")
+	}
+}
+
+func TestOversizedBuffersStayInHBM(t *testing.T) {
+	prog := &Program{Name: "big", SRAM: 4, HBMCost: 5}
+	prog.Buffers = append(prog.Buffers, Buffer{
+		Buffer:   buffers.Buffer{ID: 0, Start: 0, End: 5, Size: 100},
+		Accesses: 1000,
+	})
+	a := Assign(prog, heuristics.BestFit{})
+	if a.InSRAM[0] {
+		t.Error("buffer larger than SRAM promoted")
+	}
+}

@@ -1,0 +1,178 @@
+package telamalloc
+
+import (
+	"io"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/gbt"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/mlpolicy"
+)
+
+// Option configures Allocate.
+type Option func(*config)
+
+type config struct {
+	core          core.Config
+	model         *BacktrackModel
+	gate          *StepGateModel
+	gateThreshold float64
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithMaxSteps caps the number of placement attempts (0 = unlimited).
+func WithMaxSteps(n int64) Option {
+	return func(c *config) { c.core.MaxSteps = n }
+}
+
+// WithTimeout aborts the allocation after d.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.core.Deadline = time.Now().Add(d) }
+}
+
+// WithSkylinePlacement selects the simple skyline placement strategy
+// (Figure 8a) instead of solver-guided placement. Mainly useful for
+// experiments; solver-guided placement is strictly more capable.
+func WithSkylinePlacement() Option {
+	return func(c *config) { c.core.Placement = core.SkylineTop }
+}
+
+// WithoutPhases disables contention-based grouping (§5.3).
+func WithoutPhases() Option {
+	return func(c *config) { c.core.DisablePhases = true }
+}
+
+// WithoutSubproblemSplit disables independent-subproblem splitting.
+func WithoutSubproblemSplit() Option {
+	return func(c *config) { c.core.DisableSplit = true }
+}
+
+// WithStrictCandidates restricts each decision point to the paper's three
+// heuristic picks per phase, instead of falling through to every unplaced
+// buffer. This increases major backtracks — the regime the learned
+// backtracking policy (§6) operates in. WithBacktrackModel implies it.
+func WithStrictCandidates() Option {
+	return func(c *config) { c.core.NoFallbackCandidates = true }
+}
+
+// WithBacktrackModel enables the learned backtracking policy of §6: on a
+// major backtrack, the model ranks candidate backtrack targets and, when
+// confident, overrides the default conflict-driven jump. It implies
+// WithoutSubproblemSplit, since the learned policy tracks one coherent
+// decision path.
+func WithBacktrackModel(m *BacktrackModel) Option {
+	return func(c *config) {
+		c.model = m
+		c.core.DisableSplit = true
+		c.core.NoFallbackCandidates = true
+	}
+}
+
+// StepGateModel is a trained step-level gate (§8.3 of the paper): a shallow
+// tree evaluated at every decision point that decides between the cheap
+// (three heuristic picks) and the expensive (full fallback) candidate path.
+type StepGateModel struct {
+	forest *gbt.Forest
+}
+
+// TrainStepGate collects per-decision-point risk labels from solving the
+// given problems in strict candidate mode and trains the shallow gate tree.
+// searchSteps bounds each collection search.
+func TrainStepGate(problems []Problem, seed, searchSteps int64) (*StepGateModel, error) {
+	var ds gbt.Dataset
+	for _, p := range problems {
+		part := mlpolicy.GateTrainingRun(toInternal(p), searchSteps)
+		ds.X = append(ds.X, part.X...)
+		ds.Y = append(ds.Y, part.Y...)
+	}
+	forest, err := mlpolicy.TrainGate(ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &StepGateModel{forest: forest}, nil
+}
+
+// Save serialises the gate as JSON.
+func (m *StepGateModel) Save(w io.Writer) error { return m.forest.Save(w) }
+
+// LoadStepGate reads a gate saved with Save.
+func LoadStepGate(r io.Reader) (*StepGateModel, error) {
+	f, err := gbt.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &StepGateModel{forest: f}, nil
+}
+
+// WithStepGate lets the trained gate decide, per decision point, whether to
+// build the expensive candidate set. threshold <= 0 selects the default
+// (0.5).
+func WithStepGate(m *StepGateModel, threshold float64) Option {
+	return func(c *config) {
+		c.gate = m
+		c.gateThreshold = threshold
+	}
+}
+
+// finalize binds problem-dependent pieces (the learned chooser and the step
+// gate) once the internal problem exists.
+func (c *config) finalize(q *buffers.Problem) core.Config {
+	cfg := c.core
+	if c.model != nil {
+		cfg.Chooser = mlpolicy.NewChooser(c.model.forest, q)
+	}
+	if c.gate != nil {
+		threshold := c.gateThreshold
+		if threshold <= 0 {
+			threshold = 0
+		}
+		cfg.Gate = mlpolicy.NewStepGate(c.gate.forest, q, threshold)
+	}
+	return cfg
+}
+
+// BacktrackModel is a trained backtracking policy (a gradient boosted tree
+// forest over backtrack-candidate features).
+type BacktrackModel struct {
+	forest *gbt.Forest
+}
+
+// LoadBacktrackModel reads a model saved with Save.
+func LoadBacktrackModel(r io.Reader) (*BacktrackModel, error) {
+	f, err := gbt.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &BacktrackModel{forest: f}, nil
+}
+
+// Save serialises the model as JSON.
+func (m *BacktrackModel) Save(w io.Writer) error {
+	return m.forest.Save(w)
+}
+
+// TrainBacktrackModel collects imitation-learning data by solving the given
+// problems with an exact-solver oracle in the loop (§6.3–6.5) and trains
+// the backtracking forest. Training is deterministic per seed. oracleSteps
+// bounds each oracle probe; searchSteps bounds each collection search.
+func TrainBacktrackModel(problems []Problem, seed, searchSteps, oracleSteps int64) (*BacktrackModel, error) {
+	var internal []*buffers.Problem
+	for _, p := range problems {
+		internal = append(internal, toInternal(p))
+	}
+	ds := mlpolicy.CollectDataset(internal, []int{100, 105, 110}, seed, searchSteps, ilp.Options{MaxSteps: oracleSteps})
+	forest, err := mlpolicy.TrainModel(ds, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &BacktrackModel{forest: forest}, nil
+}
