@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci build test race vet bench
+
+## ci: the full verification gate — vet, build, and the test suite under
+## the race detector (the parallel subproblem solver makes -race mandatory).
+ci: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

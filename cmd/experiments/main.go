@@ -28,6 +28,7 @@ func main() {
 		maxSteps = flag.Int64("max-steps", 0, "step cap for step-counted experiments (default 500000)")
 		workers  = flag.Int("workers", 0, "worker pool size (default NumCPU)")
 		repeats  = flag.Int("repeats", 0, "timed repetitions per measurement (default 3)")
+		parallel = flag.Int("parallel", 0, "subproblem parallelism per TelaMalloc solve (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		MaxSteps:       *maxSteps,
 		Workers:        *workers,
 		Repeats:        *repeats,
+		Parallelism:    *parallel,
 	}
 
 	want := map[string]bool{}

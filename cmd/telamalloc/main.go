@@ -34,8 +34,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for -model generation")
 		ratio     = flag.Int("ratio", 110, "memory as percent of contention peak for -model")
 		alloc     = flag.String("alloc", "telamalloc", "allocator: telamalloc, greedy, bestfit, ilp, cp")
-		maxSteps  = flag.Int64("max-steps", 0, "search step cap (0 = unlimited)")
+		maxSteps  = flag.Int64("max-steps", 0, "global search step budget shared across subproblems (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		parallel  = flag.Int("parallel", 0, "independent subproblems searched concurrently (0 = GOMAXPROCS, 1 = sequential)")
 		outPath   = flag.String("out", "", "write the solved trace (with offsets) here")
 		quiet     = flag.Bool("q", false, "only print the summary line")
 		doSpill   = flag.Bool("spill", false, "on failure, plan buffer spills until the problem fits")
@@ -55,14 +56,14 @@ func main() {
 	}
 
 	start := time.Now()
-	sol, stats, err := solve(p, *alloc, *maxSteps, *timeout)
+	sol, stats, err := solve(p, *alloc, *maxSteps, *timeout, *parallel, !*quiet)
 	elapsed := time.Since(start)
 	if err != nil && *doSpill {
 		// Production fallback (§1 of the paper): reduce on-chip pressure by
 		// demoting buffers until the rest fits.
 		plan, serr := spill.Make(spill.Request{
 			Problem:   p,
-			Allocator: core.Allocator{Config: core.Config{MaxSteps: *maxSteps}},
+			Allocator: core.Allocator{Config: core.Config{MaxSteps: *maxSteps, Parallelism: *parallel}},
 		})
 		elapsed = time.Since(start)
 		if serr != nil {
@@ -104,6 +105,19 @@ func main() {
 	}
 }
 
+// printGroups reports per-subproblem outcomes and timings of a parallel
+// TelaMalloc solve.
+func printGroups(groups []core.GroupReport) {
+	for i, g := range groups {
+		retry := ""
+		if g.Retried {
+			retry = ", retried with pot leftover"
+		}
+		fmt.Printf("  group %d: %d buffers, %s in %.2f ms (steps %d%s)\n",
+			i, g.Buffers, g.Status, float64(g.Elapsed.Microseconds())/1e3, g.Steps, retry)
+	}
+}
+
 func loadProblem(tracePath, modelName string, seed int64, ratio int) (*buffers.Problem, error) {
 	switch {
 	case tracePath != "":
@@ -124,16 +138,22 @@ func loadProblem(tracePath, modelName string, seed int64, ratio int) (*buffers.P
 	}
 }
 
-func solve(p *buffers.Problem, alloc string, maxSteps int64, timeout time.Duration) (*buffers.Solution, string, error) {
+func solve(p *buffers.Problem, alloc string, maxSteps int64, timeout time.Duration, parallel int, groupReport bool) (*buffers.Solution, string, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
 	switch alloc {
 	case "telamalloc":
-		res := core.Solve(p, core.Config{MaxSteps: maxSteps, Deadline: deadline})
+		res := core.Solve(p, core.Config{MaxSteps: maxSteps, Deadline: deadline, Parallelism: parallel})
+		if groupReport && len(res.Groups) > 1 {
+			printGroups(res.Groups)
+		}
 		info := fmt.Sprintf(" (steps %d, backtracks %d, subproblems %d)",
 			res.Stats.Steps, res.Stats.Backtracks(), res.Subproblems)
+		if res.Err != nil {
+			return nil, "", res.Err
+		}
 		if res.Status != telamon.Solved {
 			return nil, "", fmt.Errorf("%v%s", res.Status, info)
 		}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/telamon"
+)
+
+// GroupReport describes the outcome of one independent subproblem (§5.3
+// split component), in group (time) order.
+type GroupReport struct {
+	// Buffers is the number of buffers in the group.
+	Buffers int
+	// Status is the group's final framework status. Cancelled means a
+	// sibling group's definitive failure (or the caller's Cancel hook)
+	// stopped this search before it reached its own verdict.
+	Status telamon.Status
+	// Steps is the group's final step count. When the group was retried,
+	// this is the retry's count: the retry replaces the first attempt.
+	Steps int64
+	// Elapsed is the wall-clock time spent searching the group, summed
+	// over the first attempt and any retry.
+	Elapsed time.Duration
+	// Retried reports whether the group re-ran with leftover budget after
+	// exhausting its fair share of the step pot.
+	Retried bool
+}
+
+// groupRun carries one group's solve state across the two scheduling
+// phases.
+type groupRun struct {
+	nbuf    int
+	sub     *buffers.Problem
+	back    []int
+	share   int64
+	res     telamon.Result
+	elapsed time.Duration
+	retried bool
+}
+
+// effectiveParallelism resolves cfg.Parallelism against the group count and
+// the config's concurrency constraints.
+func effectiveParallelism(cfg Config, groups int) int {
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	// The learned chooser and step gate are stateful across a solve and
+	// track one coherent decision path; interleaving groups would corrupt
+	// their observations, so they force sequential execution.
+	if cfg.Chooser != nil || cfg.Gate != nil {
+		par = 1
+	}
+	if par > groups {
+		par = groups
+	}
+	return par
+}
+
+// splitBudget divides the global step pot fairly across n groups: every
+// group gets pot/n, with the first pot%n groups taking one extra. A
+// non-positive pot (unlimited) yields unlimited shares. A pot smaller than
+// n still hands every group at least one step, because a zero share would
+// read as "unlimited" downstream.
+func splitBudget(pot int64, n int) []int64 {
+	shares := make([]int64, n)
+	if pot <= 0 {
+		return shares
+	}
+	base, extra := pot/int64(n), pot%int64(n)
+	for i := range shares {
+		shares[i] = base
+		if int64(i) < extra {
+			shares[i]++
+		}
+		if shares[i] == 0 {
+			shares[i] = 1
+		}
+	}
+	return shares
+}
+
+// lowerFailed lowers the shared "lowest definitively failed group" index to
+// i if i is smaller than the current value.
+func lowerFailed(failed *atomic.Int64, i int) {
+	for {
+		cur := failed.Load()
+		if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+			return
+		}
+	}
+}
+
+// solveGroups searches the independent subproblems on a bounded worker pool
+// and merges the results deterministically. The contract, at every
+// parallelism level:
+//
+//   - offsets are written back through each group's back mapping, so a
+//     fully solved problem yields byte-identical Solution.Offsets;
+//   - per-group stats are accumulated in group order;
+//   - the first non-Solved group by group index — not by wall-clock race
+//     order — determines the result;
+//   - cfg.MaxSteps is a shared pot: each group receives a fair share up
+//     front, and steps that solved groups leave unused fund sequential
+//     in-order retries of groups that ran out of their share.
+//
+// Cooperative cancellation stops sibling searches as soon as one group
+// fails definitively (Exhausted): a failure at group i cancels only groups
+// with a higher index, so every group below the determining failure still
+// reaches its own deterministic verdict.
+func solveGroups(p *buffers.Problem, cfg Config, groups [][]int) Result {
+	n := len(groups)
+	runs := make([]groupRun, n)
+	shares := splitBudget(cfg.MaxSteps, n)
+
+	// failed holds the lowest group index that failed definitively; groups
+	// above it are cancelled (or skipped before they start).
+	var failed atomic.Int64
+	failed.Store(int64(n))
+
+	runGroup := func(i int) {
+		r := &runs[i]
+		r.share = shares[i]
+		r.nbuf = len(groups[i])
+		if failed.Load() < int64(i) || (cfg.Cancel != nil && cfg.Cancel()) {
+			// A lower group already failed for real: this group's result
+			// cannot influence the outcome, so skip the search entirely.
+			r.res = telamon.Result{Status: telamon.Cancelled}
+			return
+		}
+		r.sub, r.back = subProblem(p, groups[i])
+		cancel := func() bool {
+			return failed.Load() < int64(i) || (cfg.Cancel != nil && cfg.Cancel())
+		}
+		start := time.Now()
+		r.res = solveComponent(r.sub, cfg, r.share, cancel)
+		r.elapsed = time.Since(start)
+		if r.res.Status == telamon.Exhausted {
+			lowerFailed(&failed, i)
+		}
+	}
+
+	if par := effectiveParallelism(cfg, n); par <= 1 {
+		for i := range runs {
+			runGroup(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(par)
+		for w := 0; w < par; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runGroup(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	return mergeGroups(p, cfg, runs)
+}
+
+// mergeGroups performs the deterministic sequential merge: leftover-funded
+// retries in group order, stats accumulation in group order, and the first
+// non-Solved group deciding the result.
+func mergeGroups(p *buffers.Problem, cfg Config, runs []groupRun) Result {
+	out := Result{
+		Status:      telamon.Solved,
+		Solution:    buffers.NewSolution(len(p.Buffers)),
+		Subproblems: len(runs),
+		Groups:      make([]GroupReport, len(runs)),
+	}
+
+	// The leftover pot collects the steps solved groups did not use. Only
+	// groups that ran to their own verdict contribute — a cancelled group
+	// stops at a wall-clock-dependent point, and counting its remainder
+	// would make retry budgets (and so results) depend on timing.
+	var leftover int64
+	if cfg.MaxSteps > 0 {
+		for i := range runs {
+			if runs[i].res.Status == telamon.Solved {
+				if unused := runs[i].share - runs[i].res.Stats.Steps; unused > 0 {
+					leftover += unused
+				}
+			}
+		}
+	}
+
+	for i := range runs {
+		r := &runs[i]
+		if r.res.Status == telamon.Budget && cfg.MaxSteps > 0 && leftover > 0 {
+			// The group ran out of its fair share while siblings left
+			// steps in the pot: retry from scratch with share + leftover.
+			// Retries run sequentially in group order, so the budget each
+			// one sees is the same at every parallelism level.
+			budget := r.share + leftover
+			start := time.Now()
+			r.res = solveComponent(r.sub, cfg, budget, cfg.Cancel)
+			r.elapsed += time.Since(start)
+			r.retried = true
+			if r.res.Status == telamon.Solved {
+				leftover = budget - r.res.Stats.Steps
+				if leftover < 0 {
+					leftover = 0
+				}
+			}
+		}
+		accumulate(&out.Stats, r.res.Stats)
+		out.Groups[i] = GroupReport{
+			Buffers: r.nbuf,
+			Status:  r.res.Status,
+			Steps:   r.res.Stats.Steps,
+			Elapsed: r.elapsed,
+			Retried: r.retried,
+		}
+		if r.res.Status != telamon.Solved {
+			out.Status = r.res.Status
+			// A failed solve has no meaningful offsets; returning the
+			// partially filled solution would leave unplaced buffers at
+			// address 0, indistinguishable from real placements.
+			out.Solution = nil
+			// Groups past the determining failure are not retried, but
+			// their phase-A outcomes still belong in the report — leaving
+			// them zero-valued would read as "0 buffers, solved".
+			for j := i + 1; j < len(runs); j++ {
+				out.Groups[j] = GroupReport{
+					Buffers: runs[j].nbuf,
+					Status:  runs[j].res.Status,
+					Steps:   runs[j].res.Stats.Steps,
+					Elapsed: runs[j].elapsed,
+				}
+			}
+			return out
+		}
+		for subID, off := range r.res.Solution.Offsets {
+			out.Solution.Offsets[r.back[subID]] = off
+		}
+	}
+	return out
+}

@@ -79,6 +79,16 @@ type Config struct {
 	// StuckThreshold forwards to the framework (0 = default 100,
 	// negative = disabled).
 	StuckThreshold int
+	// Parallelism bounds how many independent subproblems (§5.3 splits)
+	// are searched concurrently. 0 selects GOMAXPROCS; 1 solves the
+	// groups sequentially in group order. Status and Solution are
+	// identical at every parallelism level; only wall-clock time and, on
+	// failure paths, the per-group reports and aggregate stats may differ.
+	Parallelism int
+	// Cancel, when non-nil, cooperatively aborts the whole solve. It is
+	// polled periodically from every search worker, so it must be safe to
+	// call concurrently. A cancelled solve reports telamon.Cancelled.
+	Cancel func() bool
 	// Chooser, when non-nil, supplies learned backtrack decisions.
 	Chooser BacktrackChooser
 	// Gate, when non-nil, decides per decision point whether to build the
@@ -89,49 +99,45 @@ type Config struct {
 // Result is the outcome of an allocation: the framework result plus
 // aggregate statistics across subproblems.
 type Result struct {
-	Status   telamon.Status
+	Status telamon.Status
+	// Err is the input-validation error when Status is telamon.Invalid,
+	// nil otherwise. It keeps structurally invalid input distinguishable
+	// from a genuinely exhausted search.
+	Err error
+	// Solution holds the packed offsets when Status is Solved and is nil
+	// otherwise: a failed solve has no meaningful offsets, and a
+	// partially filled solution would leave unplaced buffers at address
+	// 0, indistinguishable from real placements.
 	Solution *buffers.Solution
 	Stats    telamon.Stats
 	// Subproblems is the number of independent components solved.
 	Subproblems int
+	// Groups reports each independent component's outcome in group (time)
+	// order; empty for problems with no buffers.
+	Groups []GroupReport
 }
 
-// Solve runs TelaMalloc on p.
+// Solve runs TelaMalloc on p. Independent subproblems are dispatched to a
+// bounded worker pool (Config.Parallelism) with a deterministic merge; see
+// solveGroups for the contract.
 func Solve(p *buffers.Problem, cfg Config) Result {
 	if err := p.Validate(); err != nil {
-		return Result{Status: telamon.Exhausted}
+		return Result{Status: telamon.Invalid, Err: err}
 	}
 	if len(p.Buffers) == 0 {
 		return Result{Status: telamon.Solved, Solution: buffers.NewSolution(0)}
 	}
-	groups := [][]int{nil}
+	var groups [][]int
 	if cfg.DisableSplit {
 		ids := make([]int, len(p.Buffers))
 		for i := range ids {
 			ids[i] = i
 		}
-		groups[0] = ids
+		groups = [][]int{ids}
 	} else {
 		groups = phases.SplitIndependent(p)
 	}
-	out := Result{
-		Status:      telamon.Solved,
-		Solution:    buffers.NewSolution(len(p.Buffers)),
-		Subproblems: len(groups),
-	}
-	for _, ids := range groups {
-		sub, back := subProblem(p, ids)
-		res := solveComponent(sub, cfg)
-		accumulate(&out.Stats, res.Stats)
-		if res.Status != telamon.Solved {
-			out.Status = res.Status
-			return out
-		}
-		for subID, off := range res.Solution.Offsets {
-			out.Solution.Offsets[back[subID]] = off
-		}
-	}
-	return out
+	return solveGroups(p, cfg, groups)
 }
 
 // Allocator adapts Solve to the heuristics.Allocator interface so the
@@ -143,9 +149,13 @@ type Allocator struct {
 // Name implements heuristics.Allocator.
 func (a Allocator) Name() string { return "telamalloc" }
 
-// Allocate implements heuristics.Allocator.
+// Allocate implements heuristics.Allocator. Validation errors are returned
+// verbatim so callers can distinguish bad input from a failed search.
 func (a Allocator) Allocate(p *buffers.Problem) (*buffers.Solution, error) {
 	res := Solve(p, a.Config)
+	if res.Err != nil {
+		return nil, res.Err
+	}
 	if res.Status != telamon.Solved {
 		return nil, fmt.Errorf("telamalloc: %v after %d steps", res.Status, res.Stats.Steps)
 	}
@@ -174,14 +184,18 @@ func subProblem(p *buffers.Problem, ids []int) (*buffers.Problem, []int) {
 	return sub, back
 }
 
-func solveComponent(p *buffers.Problem, cfg Config) telamon.Result {
+// solveComponent searches one independent subproblem. maxSteps is the
+// group's allotment from the shared pot (0 = unlimited) and cancel the
+// cooperative-cancellation hook (nil = never).
+func solveComponent(p *buffers.Problem, cfg Config, maxSteps int64, cancel func() bool) telamon.Result {
 	policy := newPolicy(p, cfg)
 	opts := telamon.Options{
-		MaxSteps:              cfg.MaxSteps,
+		MaxSteps:              maxSteps,
 		Deadline:              cfg.Deadline,
 		StuckThreshold:        cfg.StuckThreshold,
 		DisableConflictDriven: cfg.DisableConflictDriven,
 		DisablePromotion:      cfg.DisablePromotion,
+		Cancel:                cancel,
 	}
 	return telamon.Search(p, nil, policy, opts)
 }

@@ -128,8 +128,13 @@ type Model struct {
 	trail  []trailEntry
 	levels []int
 
-	queue   []int32
-	inQueue []bool
+	// queue is the pending pair-propagator worklist. queueHead indexes the
+	// next entry to process; advancing the head instead of re-slicing the
+	// queue keeps the backing array reusable across the model's lifetime
+	// (a re-slice would permanently strand the capacity before the head).
+	queue     []int32
+	queueHead int
+	inQueue   []bool
 
 	stats Stats
 
@@ -244,10 +249,11 @@ func (m *Model) Pop() {
 }
 
 func (m *Model) clearQueue() {
-	for _, k := range m.queue {
+	for _, k := range m.queue[m.queueHead:] {
 		m.inQueue[k] = false
 	}
 	m.queue = m.queue[:0]
+	m.queueHead = 0
 }
 
 // setMin raises the lower bound of variable v to at least val (snapped up to
@@ -332,9 +338,9 @@ func (m *Model) Place(buf int, pos int64) *Conflict {
 // Propagate runs the pair propagators to fixpoint. On success it returns
 // nil; otherwise the conflict explanation.
 func (m *Model) Propagate() *Conflict {
-	for len(m.queue) > 0 {
-		k := m.queue[0]
-		m.queue = m.queue[1:]
+	for m.queueHead < len(m.queue) {
+		k := m.queue[m.queueHead]
+		m.queueHead++
 		m.inQueue[k] = false
 		if c := m.propagatePair(k); c != nil {
 			m.stats.Conflicts++
@@ -342,6 +348,8 @@ func (m *Model) Propagate() *Conflict {
 			return c
 		}
 	}
+	m.queue = m.queue[:0]
+	m.queueHead = 0
 	return nil
 }
 

@@ -220,6 +220,10 @@ type Fig12Row struct {
 	MLOK bool
 	// Relative is ILP time / TelaMalloc time.
 	Relative float64
+	// Subproblems is the number of independent components TelaMalloc
+	// split the instance into (its parallel solve dispatches them to a
+	// worker pool).
+	Subproblems int
 }
 
 // Fig12 measures allocation time on the benchmark models at the paper's
@@ -249,10 +253,15 @@ func Fig12(opts Options, withCP bool, model *TrainedModel) []Fig12Row {
 
 		var tmRes core.Result
 		d = timeIt(opts.Repeats, func() {
-			tmRes = core.Solve(p, core.Config{MaxSteps: opts.MaxSteps, Deadline: time.Now().Add(opts.SolverDeadline)})
+			tmRes = core.Solve(p, core.Config{
+				MaxSteps:    opts.MaxSteps,
+				Deadline:    time.Now().Add(opts.SolverDeadline),
+				Parallelism: opts.Parallelism,
+			})
 		})
 		row.TelaMallocMs = ms(d)
 		row.TelaMallocOK = tmRes.Status == telamon.Solved
+		row.Subproblems = tmRes.Subproblems
 
 		var ilpRes ilp.Result
 		d = timeIt(1, func() { // exact solver: one run, deadline-capped

@@ -38,6 +38,11 @@ type Options struct {
 	Configs int
 	// Workers bounds the worker pool (default NumCPU).
 	Workers int
+	// Parallelism is forwarded to core.Config.Parallelism for the timed
+	// TelaMalloc runs: how many independent subproblems each solve may
+	// search concurrently (0 = GOMAXPROCS, 1 = sequential). Results are
+	// identical either way; only wall-clock timings change.
+	Parallelism int
 	// MemoryRatioPct is the memory given to each model relative to its
 	// minimum required memory (default 110, the paper's setting).
 	MemoryRatioPct int
@@ -116,7 +121,10 @@ func minRequiredMemory(p *buffers.Problem, maxSteps int64) int64 {
 	feasible := func(mem int64) bool {
 		q := p.Clone()
 		q.Memory = mem
-		res := core.Solve(q, core.Config{MaxSteps: maxSteps})
+		// Probes run sequentially: the binary search itself is already
+		// inside the harness worker pool, and sequential solves keep the
+		// feasibility verdicts independent of GOMAXPROCS.
+		res := core.Solve(q, core.Config{MaxSteps: maxSteps, Parallelism: 1})
 		return res.Status == telamon.Solved
 	}
 	best := hi

@@ -1,0 +1,81 @@
+package telamon
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeadlinePolledWithoutStepProgress is the regression test for the
+// deadline-polling bug: the old code checked the clock only when
+// Stats.Steps%1024 == 0, but Steps does not advance while candidates are
+// skipped or during major-backtrack cascades, so a search stuck at a
+// non-multiple step count never noticed an expired deadline. The poll now
+// runs on a call counter, so repeated budget checks must detect the expired
+// deadline even with Steps frozen at an awkward value.
+func TestDeadlinePolledWithoutStepProgress(t *testing.T) {
+	s := &searcher{
+		st:   &State{Stats: Stats{Steps: 5}}, // 5 % 1024 != 0, frozen
+		opts: Options{Deadline: time.Now().Add(-time.Minute)},
+	}
+	fired := false
+	for i := 0; i < 4*budgetPollStride; i++ {
+		if s.outOfBudget() {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("expired deadline never detected while Steps was stuck at 5")
+	}
+	if s.stop != Budget {
+		t.Fatalf("stop status = %v, want %v", s.stop, Budget)
+	}
+	// Once latched, every later check must agree without flapping.
+	if !s.outOfBudget() {
+		t.Error("budget verdict did not latch")
+	}
+}
+
+// TestCancelHookAbortsSearch exercises Options.Cancel end to end: a search
+// on a hard instance with a tripped cancel flag must return Cancelled, not
+// run to exhaustion.
+func TestCancelHookAbortsSearch(t *testing.T) {
+	p := hardInstance(3, 16)
+	cancelled := false
+	res := Search(p, nil, idOrderPolicy{}, Options{
+		Cancel: func() bool { return cancelled },
+	})
+	baseline := res.Status
+	if baseline == Cancelled {
+		t.Fatalf("search reported Cancelled with an untripped hook")
+	}
+
+	cancelled = true
+	res = Search(p, nil, idOrderPolicy{}, Options{
+		Cancel: func() bool { return cancelled },
+	})
+	if res.Status != Cancelled {
+		t.Fatalf("status = %v, want %v", res.Status, Cancelled)
+	}
+	if res.Solution != nil {
+		t.Error("cancelled search returned a solution")
+	}
+}
+
+// TestStatusStrings pins the user-visible names, including the two new
+// statuses.
+func TestStatusStrings(t *testing.T) {
+	want := map[Status]string{
+		Solved:     "solved",
+		Exhausted:  "exhausted",
+		Budget:     "budget-exceeded",
+		Cancelled:  "cancelled",
+		Invalid:    "invalid-problem",
+		Status(99): "status(99)",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+}

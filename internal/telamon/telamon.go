@@ -12,6 +12,7 @@
 package telamon
 
 import (
+	"fmt"
 	"time"
 
 	"telamalloc/internal/buffers"
@@ -28,6 +29,13 @@ const (
 	Exhausted
 	// Budget means the step budget or deadline ran out first.
 	Budget
+	// Cancelled means the Options.Cancel hook aborted the search. A
+	// cancelled search says nothing about the subproblem's feasibility.
+	Cancelled
+	// Invalid means the input problem failed validation before any search
+	// ran. The framework itself never returns it; core.Solve uses it to
+	// keep invalid input distinguishable from an exhausted search.
+	Invalid
 )
 
 func (s Status) String() string {
@@ -36,8 +44,14 @@ func (s Status) String() string {
 		return "solved"
 	case Exhausted:
 		return "exhausted"
-	default:
+	case Budget:
 		return "budget-exceeded"
+	case Cancelled:
+		return "cancelled"
+	case Invalid:
+		return "invalid-problem"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
 	}
 }
 
@@ -123,6 +137,13 @@ type Options struct {
 	// DisablePromotion turns off prepending failed candidates to the
 	// backtrack target's queue.
 	DisablePromotion bool
+	// Cancel, when non-nil, is polled periodically during the search; the
+	// first true return aborts the search with status Cancelled. It may be
+	// called from the search goroutine only, but its result may be
+	// computed from state shared with other goroutines — this is the
+	// cooperative-cancellation hook the parallel subproblem solver uses to
+	// stop sibling searches once one component definitively fails.
+	Cancel func() bool
 }
 
 func (o Options) stuckThreshold() int {
@@ -189,22 +210,46 @@ func Search(p *buffers.Problem, ov *buffers.Overlaps, policy Policy, opts Option
 }
 
 type searcher struct {
-	st       *State
-	policy   Policy
-	opts     Options
-	deadline bool
+	st     *State
+	policy Policy
+	opts   Options
+	// checks counts outOfBudget calls; deadline and cancellation are
+	// polled on a stride of it. Polling on Stats.Steps is wrong: Steps
+	// does not advance while candidates are skipped or during
+	// major-backtrack cascades, so a stuck search could overrun its
+	// deadline indefinitely. The call counter advances on every budget
+	// check regardless of search progress.
+	checks int64
+	// stop latches the terminal status once a budget check fires, so
+	// every later check returns the same verdict without re-polling.
+	stop Status
 }
 
+// budgetPollStride is how many outOfBudget calls pass between time/cancel
+// polls. outOfBudget runs at least once per candidate attempt, so the worst
+// case overrun is a few hundred placement attempts — microseconds.
+const budgetPollStride = 256
+
 func (s *searcher) outOfBudget() bool {
-	if s.opts.MaxSteps > 0 && s.st.Stats.Steps >= s.opts.MaxSteps {
+	if s.stop != Solved {
 		return true
 	}
-	if !s.opts.Deadline.IsZero() && s.st.Stats.Steps%1024 == 0 {
-		if time.Now().After(s.opts.Deadline) {
-			s.deadline = true
+	if s.opts.MaxSteps > 0 && s.st.Stats.Steps >= s.opts.MaxSteps {
+		s.stop = Budget
+		return true
+	}
+	s.checks++
+	if s.checks%budgetPollStride == 1 {
+		if s.opts.Cancel != nil && s.opts.Cancel() {
+			s.stop = Cancelled
+			return true
+		}
+		if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+			s.stop = Budget
+			return true
 		}
 	}
-	return s.deadline
+	return false
 }
 
 func (s *searcher) run() Result {
@@ -219,7 +264,7 @@ func (s *searcher) run() Result {
 			return Result{Status: Solved, Solution: &buffers.Solution{Offsets: st.Model.Solution()}}
 		}
 		if s.outOfBudget() {
-			return Result{Status: Budget}
+			return Result{Status: s.stop}
 		}
 		dp := s.top()
 		if dp == nil || dp.Placed >= 0 {
@@ -229,7 +274,7 @@ func (s *searcher) run() Result {
 			continue // committed; descend
 		}
 		if s.outOfBudget() {
-			return Result{Status: Budget}
+			return Result{Status: s.stop}
 		}
 		// Queue exhausted: major backtrack.
 		st.Stats.MajorBacktracks++

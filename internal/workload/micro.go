@@ -53,6 +53,60 @@ func FullOverlap(n int, seed int64) *buffers.Problem {
 	return p
 }
 
+// MultiComponent builds a problem made of `components` independent
+// subproblems: clusters of mutually overlapping buffers separated by time
+// gaps no buffer crosses, so §5.3 splitting recovers exactly `components`
+// groups. Each cluster is a tight random packing (memory is set to
+// ratioPct percent of the worst cluster's contention peak), making the
+// per-group searches substantial enough that solving groups in parallel
+// pays off ("multi-component-C-N").
+func MultiComponent(components, perComponent int, ratioPct int, seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "multi-component"}
+	span := int64(24)
+	const targetPeak = int64(1) << 20
+	var clock int64
+	for c := 0; c < components; c++ {
+		cluster := &buffers.Problem{}
+		for i := 0; i < perComponent; i++ {
+			start := clock + rng.Int63n(span/2)
+			end := start + 2 + rng.Int63n(span-(start-clock))
+			if end > clock+span {
+				end = clock + span
+			}
+			cluster.Buffers = append(cluster.Buffers, buffers.Buffer{
+				Start: start,
+				End:   end,
+				Size:  kb(1 + rng.Int63n(48)),
+				Align: pickAlign(rng),
+			})
+		}
+		// Scale every cluster to the same contention peak: the shared
+		// memory limit is derived from the global (= per-cluster) peak,
+		// so each component is equally tight and the per-group searches
+		// are comparably hard — without this, only the cluster that
+		// happens to attain the global peak would need real search.
+		peak := buffers.Contention(cluster).Peak()
+		for i := range cluster.Buffers {
+			b := &cluster.Buffers[i]
+			b.Size = b.Size * targetPeak / peak
+			if b.Size < 1 {
+				b.Size = 1
+			}
+		}
+		p.Buffers = append(p.Buffers, cluster.Buffers...)
+		// Leave a one-tick gap so the next cluster is a separate component.
+		clock += span + 1
+	}
+	p.Normalize()
+	peak := buffers.Contention(p).Peak()
+	p.Memory = peak * int64(ratioPct) / 100
+	if p.Memory < peak {
+		p.Memory = peak
+	}
+	return p
+}
+
 // Random builds the mixed random instances used for the 1,192-configuration
 // ablation sweep (§7.2): phased workloads whose shape parameters vary with
 // the seed. Memory is set to ratioPct percent of the instance's contention

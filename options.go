@@ -39,6 +39,21 @@ func WithTimeout(d time.Duration) Option {
 	return func(c *config) { c.core.Deadline = time.Now().Add(d) }
 }
 
+// WithParallelism bounds how many independent subproblems are searched
+// concurrently (0 = GOMAXPROCS, 1 = sequential). The result is identical at
+// every parallelism level; only wall-clock time changes.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.core.Parallelism = n }
+}
+
+// WithCancel installs a cooperative-cancellation hook: it is polled
+// periodically from every search worker (and so must be safe to call
+// concurrently); the first true return aborts the allocation with
+// ErrCancelled.
+func WithCancel(cancel func() bool) Option {
+	return func(c *config) { c.core.Cancel = cancel }
+}
+
 // WithSkylinePlacement selects the simple skyline placement strategy
 // (Figure 8a) instead of solver-guided placement. Mainly useful for
 // experiments; solver-guided placement is strictly more capable.

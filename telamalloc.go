@@ -80,6 +80,8 @@ var (
 	ErrNoSolution = errors.New("telamalloc: no feasible packing found")
 	// ErrBudget means the step budget or timeout expired first.
 	ErrBudget = errors.New("telamalloc: allocation budget exhausted")
+	// ErrCancelled means the WithCancel hook aborted the allocation.
+	ErrCancelled = errors.New("telamalloc: allocation cancelled")
 	// ErrInvalidProblem flags structurally invalid input.
 	ErrInvalidProblem = errors.New("telamalloc: invalid problem")
 )
@@ -118,6 +120,11 @@ func Allocate(p Problem, opts ...Option) (Solution, Stats, error) {
 		return Solution{Offsets: res.Solution.Offsets}, st, nil
 	case telamon.Budget:
 		return Solution{}, st, ErrBudget
+	case telamon.Cancelled:
+		return Solution{}, st, ErrCancelled
+	case telamon.Invalid:
+		// Unreachable in practice: the problem was validated above.
+		return Solution{}, st, fmt.Errorf("%w: %v", ErrInvalidProblem, res.Err)
 	default:
 		return Solution{}, st, ErrNoSolution
 	}
