@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test race vet bench
+.PHONY: ci build test race vet bench fuzz faultrace
 
-## ci: the full verification gate — vet, build, and the test suite under
-## the race detector (the parallel subproblem solver makes -race mandatory).
-ci: vet build race
+## ci: the full verification gate — vet, build, the test suite under the
+## race detector (the parallel subproblem solver makes -race mandatory),
+## the fault-injection suite re-run under -race, and a fuzz smoke of the
+## public API.
+ci: vet build race faultrace fuzz
 
 build:
 	$(GO) build ./...
@@ -17,6 +19,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+## faultrace: the deterministic fault-injection harness (injected panics,
+## stalls, budget starvation) under the race detector — the containment
+## boundaries must hold when workers crash concurrently.
+faultrace:
+	$(GO) test -race -run 'Fault|Injected|Panic|Starv|Cancel' ./internal/core ./internal/faultinject ./internal/portfolio .
+
+## fuzz: short native-fuzzing smoke of the public entry points — no input
+## may panic, nil error implies a valid packing, every error wraps exactly
+## one public sentinel.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzAllocate -fuzztime=10s .
+	$(GO) test -run='^$$' -fuzz=FuzzPipeline -fuzztime=10s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,7 @@
 //	telamalloc -trace model.json -alloc ilp      # exact solver
 //	telamalloc -trace model.json -out packed.json
 //	telamalloc -model OpenPose -ratio 110        # built-in workload proxy
+//	telamalloc -model OpenPose -ratio 90 -pipeline  # full escalation ladder
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"telamalloc"
 	"telamalloc/internal/buffers"
 	"telamalloc/internal/core"
 	"telamalloc/internal/heuristics"
@@ -41,6 +43,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "only print the summary line")
 		doSpill   = flag.Bool("spill", false, "on failure, plan buffer spills until the problem fits")
 		doRender  = flag.Bool("render", false, "draw the resulting packing as ASCII art")
+		doPipe    = flag.Bool("pipeline", false, "run the full escalation ladder (greedy → best-fit → search → spill) and report per-stage outcomes")
 	)
 	flag.Parse()
 
@@ -53,6 +56,11 @@ func main() {
 		ov := buffers.ComputeOverlaps(p)
 		fmt.Printf("problem: %s — %d buffers, %d overlapping pairs, memory %d (peak contention %d)\n",
 			p.Name, len(p.Buffers), ov.PairCount, p.Memory, buffers.Contention(p).Peak())
+	}
+
+	if *doPipe {
+		runPipeline(p, *maxSteps, *timeout, *parallel, *quiet, *outPath, *doRender)
+		return
 	}
 
 	start := time.Now()
@@ -101,6 +109,68 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Printf("wrote %s\n", *outPath)
+		}
+	}
+}
+
+// runPipeline drives the public escalation ladder and prints the per-stage
+// report the library returns.
+func runPipeline(p *buffers.Problem, maxSteps int64, timeout time.Duration, parallel int, quiet bool, outPath string, doRender bool) {
+	pub := telamalloc.Problem{Memory: p.Memory, Name: p.Name}
+	for _, b := range p.Buffers {
+		pub.Buffers = append(pub.Buffers, telamalloc.Buffer{
+			Start: b.Start, End: b.End, Size: b.Size, Align: b.Align,
+		})
+	}
+	opts := []telamalloc.Option{telamalloc.WithParallelism(parallel)}
+	if maxSteps > 0 {
+		opts = append(opts, telamalloc.WithMaxSteps(maxSteps))
+	}
+	if timeout > 0 {
+		opts = append(opts, telamalloc.WithTimeout(timeout))
+	}
+	start := time.Now()
+	res, err := telamalloc.AllocatePipeline(pub, opts...)
+	elapsed := time.Since(start)
+	if !quiet {
+		for _, rep := range res.Stages {
+			switch {
+			case rep.Skipped:
+				fmt.Printf("  stage %-8s skipped: %s\n", rep.Stage, rep.SkipReason)
+			case rep.Err != nil:
+				fmt.Printf("  stage %-8s failed in %.2f ms: %v\n",
+					rep.Stage, float64(rep.Elapsed.Microseconds())/1e3, rep.Err)
+			default:
+				fmt.Printf("  stage %-8s won in %.2f ms (steps %d/%d)\n",
+					rep.Stage, float64(rep.Elapsed.Microseconds())/1e3, rep.Stats.Steps, rep.StepBudget)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipeline: %v (%.2f ms; lower bound %d, memory %d)\n",
+			err, float64(elapsed.Microseconds())/1e3, res.LowerBound, res.Memory)
+		os.Exit(2)
+	}
+	if res.Degraded {
+		fmt.Printf("pipeline: degraded via %s in %.2f ms — spilled %d buffers (cost %d) in %d attempts\n",
+			res.Winner, float64(elapsed.Microseconds())/1e3,
+			len(res.Spill.Spilled), res.Spill.SpillCost, res.Spill.Attempts)
+	} else {
+		fmt.Printf("pipeline: %s solved in %.2f ms, peak usage %d / %d\n",
+			res.Winner, float64(elapsed.Microseconds())/1e3,
+			res.Solution.PeakUsage(pub), pub.Memory)
+	}
+	sol := &buffers.Solution{Offsets: res.Solution.Offsets}
+	if doRender && !res.Degraded {
+		fmt.Print(render.Packing(p, sol, render.Options{}))
+	}
+	if outPath != "" {
+		if err := trace.Save(outPath, trace.FromProblem(p, sol)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !quiet {
+			fmt.Printf("wrote %s\n", outPath)
 		}
 	}
 }

@@ -93,6 +93,25 @@ func TestCLISpillFallback(t *testing.T) {
 	}
 }
 
+func TestCLIPipeline(t *testing.T) {
+	// Tight enough that the heuristics fail and the search stage wins.
+	out, err := run(t, "-model", "OpenPose", "-ratio", "105", "-pipeline", "-max-steps", "200000")
+	if err != nil {
+		t.Fatalf("pipeline failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "stage search") || !strings.Contains(out, "pipeline: search solved") {
+		t.Errorf("stage report missing: %s", out)
+	}
+	// Sub-peak ratio: provably infeasible, must degrade via spill.
+	out, err = run(t, "-model", "OpenPose", "-ratio", "90", "-pipeline", "-max-steps", "200000")
+	if err != nil {
+		t.Fatalf("degraded pipeline failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "provably infeasible") || !strings.Contains(out, "degraded via spill") {
+		t.Errorf("degradation report missing: %s", out)
+	}
+}
+
 func TestCLIRender(t *testing.T) {
 	out, err := run(t, "-model", "FPN Model", "-ratio", "130", "-render", "-q", "-max-steps", "200000")
 	if err != nil {

@@ -1,0 +1,133 @@
+package telamalloc_test
+
+// Native fuzz targets for the two public entry points. The properties
+// fuzzed for are the package's hard robustness contract:
+//
+//  1. no input — however adversarial — panics;
+//  2. a nil error implies a solution that passes Validate;
+//  3. every error wraps exactly one public sentinel, so callers can always
+//     dispatch with errors.Is.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"telamalloc"
+)
+
+// decodeProblem builds a problem from raw fuzz bytes: five bytes per
+// buffer (start, duration, size low byte, size high byte, align code), plus
+// a memory word. The size bytes can combine into huge, overflow-adjacent
+// values; duration zero produces Start == End; align codes include
+// non-powers of two and math.MaxInt64.
+func decodeProblem(data []byte, memory uint32) telamalloc.Problem {
+	aligns := []int64{0, 1, 2, 3, 4, 64, 1 << 40, math.MaxInt64}
+	p := telamalloc.Problem{Memory: int64(memory)}
+	for len(data) >= 5 && len(p.Buffers) < 24 {
+		start := int64(data[0])
+		dur := int64(data[1])
+		size := int64(binary.LittleEndian.Uint16(data[2:4]))
+		if size&1 == 1 {
+			// Odd sizes escalate to the overflow-adjacent regime.
+			size = math.MaxInt64 - size
+		}
+		p.Buffers = append(p.Buffers, telamalloc.Buffer{
+			Start: start,
+			End:   start + dur, // dur 0 → empty live range
+			Size:  size,
+			Align: aligns[int(data[4])%len(aligns)],
+		})
+		data = data[5:]
+	}
+	return p
+}
+
+// sentinels are the public error taxonomy.
+var sentinels = []error{
+	telamalloc.ErrNoSolution,
+	telamalloc.ErrBudget,
+	telamalloc.ErrCancelled,
+	telamalloc.ErrInvalidProblem,
+	telamalloc.ErrInternal,
+}
+
+// checkSentinel asserts err wraps exactly one public sentinel.
+func checkSentinel(t *testing.T, err error) {
+	t.Helper()
+	n := 0
+	for _, s := range sentinels {
+		if errors.Is(err, s) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("error %v matches %d public sentinels, want exactly 1", err, n)
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{}, uint32(0))                                  // no buffers, zero memory
+	f.Add([]byte{0, 5, 4, 0, 0, 0, 5, 4, 0, 0}, uint32(4))      // two co-live 4s in 4: infeasible
+	f.Add([]byte{0, 0, 8, 0, 0}, uint32(16))                    // Start == End
+	f.Add([]byte{0, 10, 255, 255, 7}, uint32(100))              // huge size, MaxInt64 align
+	f.Add([]byte{0, 10, 3, 0, 0, 2, 9, 4, 0, 5}, uint32(64))    // benign pair, odd aligns
+	f.Add([]byte{0, 200, 9, 0, 6, 0, 200, 9, 0, 6}, uint32(30)) // overflow-adjacent sizes
+}
+
+func FuzzAllocate(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, memory uint32) {
+		p := decodeProblem(data, memory)
+		sol, _, err := telamalloc.Allocate(p, telamalloc.WithMaxSteps(2000))
+		if err != nil {
+			checkSentinel(t, err)
+			return
+		}
+		if verr := sol.Validate(p); verr != nil {
+			t.Fatalf("nil error but invalid solution: %v", verr)
+		}
+	})
+}
+
+func FuzzPipeline(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, memory uint32) {
+		p := decodeProblem(data, memory)
+		res, err := telamalloc.AllocatePipeline(p, telamalloc.WithMaxSteps(2000))
+		if err != nil {
+			checkSentinel(t, err)
+			return
+		}
+		if !res.Degraded {
+			if verr := res.Solution.Validate(p); verr != nil {
+				t.Fatalf("nil error but invalid solution (winner %s): %v", res.Winner, verr)
+			}
+			return
+		}
+		// Degraded: spilled buffers must be marked off-chip and the
+		// retained subset must form a valid packing on its own.
+		spilled := make(map[int]bool, len(res.Spill.Spilled))
+		for _, i := range res.Spill.Spilled {
+			spilled[i] = true
+		}
+		var retained telamalloc.Problem
+		retained.Memory = p.Memory
+		var offsets []int64
+		for i, off := range res.Solution.Offsets {
+			if spilled[i] {
+				if off != -1 {
+					t.Fatalf("spilled buffer %d has offset %d, want -1", i, off)
+				}
+				continue
+			}
+			retained.Buffers = append(retained.Buffers, p.Buffers[i])
+			offsets = append(offsets, off)
+		}
+		sub := telamalloc.Solution{Offsets: offsets}
+		if verr := sub.Validate(retained); verr != nil {
+			t.Fatalf("degraded plan's retained packing invalid: %v", verr)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,24 @@ import (
 	"telamalloc/internal/buffers"
 	"telamalloc/internal/telamon"
 )
+
+// groupPoint is the stable fault-injection point label of a subproblem
+// group: retries reuse the first attempt's label, so an injector's per-point
+// counters see a deterministic call sequence at every parallelism level.
+func groupPoint(i int) string { return fmt.Sprintf("group%d", i) }
+
+// retryComponent re-runs a budget-starved group inside its own containment
+// boundary: retries execute on the merge goroutine, outside runGroup's
+// recover, and must not crash the process either.
+func retryComponent(sub *buffers.Problem, cfg Config, budget int64, i int) (res telamon.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = telamon.Result{Status: telamon.Internal}
+			err = internalError(fmt.Sprintf("subproblem group %d (retry)", i), rec)
+		}
+	}()
+	return solveComponent(sub, cfg, budget, cfg.Cancel, groupPoint(i)), nil
+}
 
 // GroupReport describes the outcome of one independent subproblem (§5.3
 // split component), in group (time) order.
@@ -38,6 +57,7 @@ type groupRun struct {
 	back    []int
 	share   int64
 	res     telamon.Result
+	err     error // attributed panic when res.Status is telamon.Internal
 	elapsed time.Duration
 	retried bool
 }
@@ -124,6 +144,18 @@ func solveGroups(p *buffers.Problem, cfg Config, groups [][]int) Result {
 
 	runGroup := func(i int) {
 		r := &runs[i]
+		// Containment boundary: a panic anywhere in this group's search —
+		// worker code, the solver, or a user-supplied hook called from it —
+		// is converted into an Internal result instead of crashing the
+		// process (or, under parallelism, the whole program via an
+		// unrecovered goroutine panic).
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.res = telamon.Result{Status: telamon.Internal}
+				r.err = internalError(fmt.Sprintf("subproblem group %d", i), rec)
+				lowerFailed(&failed, i)
+			}
+		}()
 		r.share = shares[i]
 		r.nbuf = len(groups[i])
 		if failed.Load() < int64(i) || (cfg.Cancel != nil && cfg.Cancel()) {
@@ -137,9 +169,9 @@ func solveGroups(p *buffers.Problem, cfg Config, groups [][]int) Result {
 			return failed.Load() < int64(i) || (cfg.Cancel != nil && cfg.Cancel())
 		}
 		start := time.Now()
-		r.res = solveComponent(r.sub, cfg, r.share, cancel)
+		r.res = solveComponent(r.sub, cfg, r.share, cancel, groupPoint(i))
 		r.elapsed = time.Since(start)
-		if r.res.Status == telamon.Exhausted {
+		if r.res.Status == telamon.Exhausted || r.res.Status == telamon.Internal {
 			lowerFailed(&failed, i)
 		}
 	}
@@ -205,7 +237,7 @@ func mergeGroups(p *buffers.Problem, cfg Config, runs []groupRun) Result {
 			// one sees is the same at every parallelism level.
 			budget := r.share + leftover
 			start := time.Now()
-			r.res = solveComponent(r.sub, cfg, budget, cfg.Cancel)
+			r.res, r.err = retryComponent(r.sub, cfg, budget, i)
 			r.elapsed += time.Since(start)
 			r.retried = true
 			if r.res.Status == telamon.Solved {
@@ -225,6 +257,7 @@ func mergeGroups(p *buffers.Problem, cfg Config, runs []groupRun) Result {
 		}
 		if r.res.Status != telamon.Solved {
 			out.Status = r.res.Status
+			out.Err = r.err
 			// A failed solve has no meaningful offsets; returning the
 			// partially filled solution would leave unplaced buffers at
 			// address 0, indistinguishable from real placements.

@@ -74,7 +74,9 @@ func (tp *telaPolicy) Candidates(st *telamon.State) []int {
 // fallback candidate set.
 func (tp *telaPolicy) expensive(st *telamon.State) bool {
 	if tp.cfg.Gate != nil {
-		return tp.cfg.Gate.Expensive(st)
+		// Learned gates are user-supplied code: run under attribution so a
+		// panic surfaces as "panic in candidate gate", not a crash.
+		return safeGate(tp.cfg.Gate, st)
 	}
 	return !tp.cfg.NoFallbackCandidates
 }
@@ -194,7 +196,9 @@ func skylineTop(st *telamon.State, buf int) (int64, bool) {
 // chooser when configured, otherwise use the framework default.
 func (tp *telaPolicy) BacktrackTarget(st *telamon.State, dp *telamon.DecisionPoint) (int, bool) {
 	if tp.cfg.Chooser != nil {
-		if t, ok := tp.cfg.Chooser.Choose(st, dp); ok {
+		// Learned choosers are user-supplied code: run under attribution so
+		// a panic surfaces as "panic in backtrack chooser", not a crash.
+		if t, ok := safeChoose(tp.cfg.Chooser, st, dp); ok {
 			return t, true
 		}
 	}

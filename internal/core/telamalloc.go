@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -89,6 +90,18 @@ type Config struct {
 	// polled periodically from every search worker, so it must be safe to
 	// call concurrently. A cancelled solve reports telamon.Cancelled.
 	Cancel func() bool
+	// Ctx, when non-nil, cancels the solve when the context is done —
+	// cancelled or past its deadline — reporting telamon.Cancelled. It
+	// rides the same polling path as Cancel, so cancellation latency is
+	// bounded by the polling stride.
+	Ctx context.Context
+	// Hook, when non-nil, is a test-only fault-injection point: it is
+	// called on every budget check of every subproblem search with a
+	// stable point label ("group<i>"), and returning true starves that
+	// search's budget (status telamon.Budget). The hook may stall or
+	// panic; panics are contained and surface as telamon.Internal. See
+	// internal/faultinject. Must be nil in production configurations.
+	Hook func(point string) bool
 	// Chooser, when non-nil, supplies learned backtrack decisions.
 	Chooser BacktrackChooser
 	// Gate, when non-nil, decides per decision point whether to build the
@@ -100,9 +113,11 @@ type Config struct {
 // aggregate statistics across subproblems.
 type Result struct {
 	Status telamon.Status
-	// Err is the input-validation error when Status is telamon.Invalid,
-	// nil otherwise. It keeps structurally invalid input distinguishable
-	// from a genuinely exhausted search.
+	// Err carries the failure detail for statuses that have one: the
+	// input-validation error when Status is telamon.Invalid, the
+	// attributed panic when Status is telamon.Internal, nil otherwise. It
+	// keeps structurally invalid input and contained crashes
+	// distinguishable from a genuinely exhausted search.
 	Err error
 	// Solution holds the packed offsets when Status is Solved and is nil
 	// otherwise: a failed solve has no meaningful offsets, and a
@@ -124,6 +139,7 @@ func Solve(p *buffers.Problem, cfg Config) Result {
 	if err := p.Validate(); err != nil {
 		return Result{Status: telamon.Invalid, Err: err}
 	}
+	cfg = cfg.withContext()
 	if len(p.Buffers) == 0 {
 		return Result{Status: telamon.Solved, Solution: buffers.NewSolution(0)}
 	}
@@ -149,10 +165,37 @@ type Allocator struct {
 // Name implements heuristics.Allocator.
 func (a Allocator) Name() string { return "telamalloc" }
 
-// Allocate implements heuristics.Allocator. Validation errors are returned
-// verbatim so callers can distinguish bad input from a failed search.
+// Allocate implements heuristics.Allocator. Validation and containment
+// errors are returned verbatim so callers can distinguish bad input and
+// contained panics from a failed search.
 func (a Allocator) Allocate(p *buffers.Problem) (*buffers.Solution, error) {
-	res := Solve(p, a.Config)
+	return a.AllocateContext(context.Background(), p)
+}
+
+// AllocateContext is Allocate with cooperative cancellation: the solve
+// aborts within the polling stride once ctx is done. It satisfies
+// portfolio.ContextAllocator, so a racing portfolio can stop a losing
+// TelaMalloc member as soon as a sibling wins.
+func (a Allocator) AllocateContext(ctx context.Context, p *buffers.Problem) (*buffers.Solution, error) {
+	cfg := a.Config
+	if ctx != nil {
+		if cfg.Ctx != nil {
+			// Both a config context and a call context: poll both. A nil
+			// Done channel (e.g. context.Background) never fires.
+			prev := cfg.Cancel
+			done := cfg.Ctx.Done()
+			cfg.Cancel = func() bool {
+				select {
+				case <-done:
+					return true
+				default:
+				}
+				return prev != nil && prev()
+			}
+		}
+		cfg.Ctx = ctx
+	}
+	res := Solve(p, cfg)
 	if res.Err != nil {
 		return nil, res.Err
 	}
@@ -185,9 +228,10 @@ func subProblem(p *buffers.Problem, ids []int) (*buffers.Problem, []int) {
 }
 
 // solveComponent searches one independent subproblem. maxSteps is the
-// group's allotment from the shared pot (0 = unlimited) and cancel the
-// cooperative-cancellation hook (nil = never).
-func solveComponent(p *buffers.Problem, cfg Config, maxSteps int64, cancel func() bool) telamon.Result {
+// group's allotment from the shared pot (0 = unlimited), cancel the
+// cooperative-cancellation hook (nil = never), and point the stable label
+// handed to the fault-injection hook.
+func solveComponent(p *buffers.Problem, cfg Config, maxSteps int64, cancel func() bool, point string) telamon.Result {
 	policy := newPolicy(p, cfg)
 	opts := telamon.Options{
 		MaxSteps:              maxSteps,
@@ -196,6 +240,10 @@ func solveComponent(p *buffers.Problem, cfg Config, maxSteps int64, cancel func(
 		DisableConflictDriven: cfg.DisableConflictDriven,
 		DisablePromotion:      cfg.DisablePromotion,
 		Cancel:                cancel,
+	}
+	if cfg.Hook != nil {
+		hook := cfg.Hook
+		opts.TestHook = func() bool { return hook(point) }
 	}
 	return telamon.Search(p, nil, policy, opts)
 }

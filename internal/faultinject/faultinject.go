@@ -1,0 +1,162 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// allocation pipeline. It exists to *prove* the robustness contract rather
+// than assume it: production ML compilers embed the allocator in-process,
+// so a panic in a worker or a learned policy, an unbounded stall, or a
+// starved budget must surface as a structured error — never as a crashed
+// host or a hung compile.
+//
+// An Injector is installed through the test-only core.Config.Hook, which
+// the search polls at every solver choice point (at least once per
+// candidate attempt) with a stable point label ("group<i>" for subproblem
+// i). Faults fire at exact per-point call counts, so a given fault hits the
+// same decision point at every parallelism level — the property the
+// determinism suite relies on.
+//
+// Three fault kinds cover the failure modes the robustness contract names:
+//
+//   - Panic: the hook panics at the chosen point. The containment boundary
+//     in internal/core must convert it to telamon.Internal / ErrInternal.
+//   - Stall: the hook sleeps, simulating a wedged policy or a descheduled
+//     worker. Cancellation latency must stay bounded by stall + stride.
+//   - Starve: from the chosen call on, the hook reports budget exhaustion,
+//     forcing telamon.Budget — the degradation path to spilling.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind is the fault class to inject.
+type Kind int
+
+const (
+	// Panic makes the hook panic with an *InjectedPanic value.
+	Panic Kind = iota
+	// Stall makes the hook sleep for StallFor.
+	Stall
+	// Starve makes the hook report budget exhaustion from the trigger
+	// call onward (sticky), so the affected search stops with Budget.
+	Starve
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Starve:
+		return "starve"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// Point is the hook label the fault arms on; "" arms on every point.
+	// Point-specific faults are deterministic under parallelism (each
+	// group's search has a fixed call sequence); "" faults count global
+	// calls and should only assert outcomes that are scheduling-invariant.
+	Point string
+	// After fires the fault on the After-th matching call (1-based;
+	// values below 1 mean the first call).
+	After int64
+	// Kind selects the fault class.
+	Kind Kind
+	// StallFor is the sleep duration for Stall faults.
+	StallFor time.Duration
+}
+
+// InjectedPanic is the value Panic faults panic with, so tests can assert
+// the recovered error came from the injector and not a real bug.
+type InjectedPanic struct {
+	Point string
+	Call  int64
+}
+
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %q call %d", p.Point, p.Call)
+}
+
+type armedFault struct {
+	Fault
+	calls    int64
+	fired    bool
+	starving bool
+}
+
+// Injector counts hook calls per fault and fires faults deterministically.
+// It is safe for concurrent use from parallel search workers.
+type Injector struct {
+	mu     sync.Mutex
+	faults []*armedFault
+	fired  []string
+}
+
+// New builds an injector for the given fault schedule.
+func New(faults ...Fault) *Injector {
+	in := &Injector{}
+	for _, f := range faults {
+		if f.After < 1 {
+			f.After = 1
+		}
+		in.faults = append(in.faults, &armedFault{Fault: f})
+	}
+	return in
+}
+
+// Hook is the function to install as core.Config.Hook. It returns true when
+// a Starve fault is active for the point (the search must treat its budget
+// as exhausted).
+func (in *Injector) Hook(point string) bool {
+	var stallFor time.Duration
+	var panicWith *InjectedPanic
+	starve := false
+
+	in.mu.Lock()
+	for _, f := range in.faults {
+		if f.Point != "" && f.Point != point {
+			continue
+		}
+		f.calls++
+		if f.starving {
+			starve = true
+			continue
+		}
+		if !f.fired && f.calls >= f.After {
+			f.fired = true
+			in.fired = append(in.fired, fmt.Sprintf("%s@%s#%d", f.Kind, point, f.calls))
+			switch f.Kind {
+			case Panic:
+				panicWith = &InjectedPanic{Point: point, Call: f.calls}
+			case Stall:
+				stallFor = f.StallFor
+			case Starve:
+				f.starving = true
+				starve = true
+			}
+		}
+	}
+	in.mu.Unlock()
+
+	// Side effects happen outside the lock: a stalling or panicking hook
+	// must not also wedge concurrent workers' bookkeeping.
+	if stallFor > 0 {
+		time.Sleep(stallFor)
+	}
+	if panicWith != nil {
+		panic(panicWith)
+	}
+	return starve
+}
+
+// Fired returns a record of the faults that have fired, in firing order,
+// formatted "kind@point#call".
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.fired...)
+}

@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPanicFiresAtExactCall(t *testing.T) {
+	in := New(Fault{Point: "group0", After: 3, Kind: Panic})
+	for i := 1; i <= 2; i++ {
+		if in.Hook("group0") {
+			t.Fatalf("call %d: unexpected starvation", i)
+		}
+	}
+	in.Hook("group1") // different point must not advance the counter
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *InjectedPanic", r, r)
+		}
+		if ip.Point != "group0" || ip.Call != 3 {
+			t.Fatalf("panic at %q call %d, want group0 call 3", ip.Point, ip.Call)
+		}
+		fired := in.Fired()
+		if len(fired) != 1 || !strings.HasPrefix(fired[0], "panic@group0#3") {
+			t.Fatalf("fired log %v", fired)
+		}
+	}()
+	in.Hook("group0")
+	t.Fatal("third matching call did not panic")
+}
+
+func TestStarveIsSticky(t *testing.T) {
+	in := New(Fault{Point: "group0", After: 2, Kind: Starve})
+	if in.Hook("group0") {
+		t.Fatal("starved before trigger call")
+	}
+	for i := 0; i < 3; i++ {
+		if !in.Hook("group0") {
+			t.Fatalf("call %d after trigger: starvation not sticky", i)
+		}
+	}
+	if in.Hook("group1") {
+		t.Fatal("starvation leaked to an unmatched point")
+	}
+}
+
+func TestStallSleeps(t *testing.T) {
+	const d = 30 * time.Millisecond
+	in := New(Fault{Point: "p", After: 1, Kind: Stall, StallFor: d})
+	start := time.Now()
+	in.Hook("p")
+	if got := time.Since(start); got < d {
+		t.Fatalf("stall slept %v, want at least %v", got, d)
+	}
+	// Fires once: the second call must be fast.
+	start = time.Now()
+	in.Hook("p")
+	if got := time.Since(start); got > d/2 {
+		t.Fatalf("second call slept %v; stall should fire once", got)
+	}
+}
+
+func TestWildcardPointMatchesEverything(t *testing.T) {
+	in := New(Fault{After: 2, Kind: Starve})
+	if in.Hook("a") {
+		t.Fatal("starved on first call")
+	}
+	if !in.Hook("b") {
+		t.Fatal("wildcard fault did not count across points")
+	}
+}
+
+func TestConcurrentHookCalls(t *testing.T) {
+	// The injector must tolerate parallel search workers; exercised under
+	// -race in CI.
+	in := New(Fault{Point: "g", After: 100, Kind: Starve})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Hook("g")
+			}
+		}()
+	}
+	wg.Wait()
+	if !in.Hook("g") {
+		t.Fatal("starvation never triggered after 800 calls")
+	}
+}

@@ -1,0 +1,55 @@
+package ilp
+
+import (
+	"context"
+	"testing"
+
+	"telamalloc/internal/workload"
+)
+
+// TestCancelHookAborts: a cancel hook that fires immediately yields
+// Cancelled, distinguishable from Budget and Infeasible.
+func TestCancelHookAborts(t *testing.T) {
+	p := workload.FullOverlap(30, 2)
+	res := Solve(p, nil, Options{Cancel: func() bool { return true }})
+	if res.Status != Cancelled {
+		t.Fatalf("status %v, want cancelled", res.Status)
+	}
+}
+
+// TestCancelFromContext adapts a context into the polling hook.
+func TestCancelFromContext(t *testing.T) {
+	if CancelFromContext(nil) != nil {
+		t.Fatal("nil ctx must yield a nil hook")
+	}
+	if CancelFromContext(context.Background()) != nil {
+		t.Fatal("Background (never done) must yield a nil hook")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hook := CancelFromContext(ctx)
+	if hook == nil || hook() {
+		t.Fatal("live context must yield a non-firing hook")
+	}
+	cancel()
+	if !hook() {
+		t.Fatal("hook did not observe cancellation")
+	}
+	p := workload.FullOverlap(30, 2)
+	res := Solve(p, nil, Options{Cancel: hook})
+	if res.Status != Cancelled {
+		t.Fatalf("status %v, want cancelled", res.Status)
+	}
+}
+
+// TestCancelDoesNotAffectCompletedSolves: with a never-firing hook the
+// solver still reaches its normal verdict.
+func TestCancelDoesNotAffectCompletedSolves(t *testing.T) {
+	p := workload.FullOverlap(12, 3)
+	res := Solve(p, nil, Options{Cancel: func() bool { return false }})
+	if res.Status != Solved {
+		t.Fatalf("status %v, want solved", res.Status)
+	}
+	if err := res.Solution.Validate(p); err != nil {
+		t.Fatalf("solution invalid: %v", err)
+	}
+}

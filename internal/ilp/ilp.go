@@ -19,6 +19,7 @@
 package ilp
 
 import (
+	"context"
 	"time"
 
 	"telamalloc/internal/buffers"
@@ -35,6 +36,9 @@ const (
 	Infeasible
 	// Budget means the step budget or deadline was exceeded first.
 	Budget
+	// Cancelled means the Options.Cancel hook (or context) aborted the
+	// solve. A cancelled solve says nothing about feasibility.
+	Cancelled
 )
 
 func (s Status) String() string {
@@ -43,6 +47,8 @@ func (s Status) String() string {
 		return "solved"
 	case Infeasible:
 		return "infeasible"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return "budget-exceeded"
 	}
@@ -69,6 +75,11 @@ type Options struct {
 	// Deadline aborts the solve when the wall clock passes it (zero =
 	// none). Checked every few hundred nodes to stay cheap.
 	Deadline time.Time
+	// Cancel, when non-nil, cooperatively aborts the solve with status
+	// Cancelled; polled on the same stride as Deadline. This is how
+	// context cancellation reaches the exact solver: wire ctx through
+	// CancelFromContext.
+	Cancel func() bool
 	// Rule selects the branching heuristic.
 	Rule BranchRule
 }
@@ -90,7 +101,18 @@ type searcher struct {
 	steps    int64
 	conflict int64
 	pairSize []int64 // combined size per pair, for BranchMostConstraining
-	deadline bool
+	// stop latches the terminal budget verdict (Budget or Cancelled) once
+	// a poll fires, so the unwinding recursion sees one stable status.
+	stop Status
+}
+
+// CancelFromContext adapts a context to the Options.Cancel polling hook.
+// A nil ctx (or one that can never be done) yields a nil hook.
+func CancelFromContext(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // Solve runs the exact search on problem p. ov may be nil (computed then).
@@ -141,15 +163,26 @@ func (s *searcher) extract() *buffers.Solution {
 }
 
 func (s *searcher) outOfBudget() bool {
-	if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
+	if s.stop != Solved {
 		return true
 	}
-	if !s.opts.Deadline.IsZero() && s.steps%256 == 0 {
-		if time.Now().After(s.opts.Deadline) {
-			s.deadline = true
+	if s.opts.MaxSteps > 0 && s.steps >= s.opts.MaxSteps {
+		s.stop = Budget
+		return true
+	}
+	// Poll on a stride, anchored at the first node so short solves still
+	// observe cancellation at least once.
+	if s.steps%256 == 1 {
+		if s.opts.Cancel != nil && s.opts.Cancel() {
+			s.stop = Cancelled
+			return true
+		}
+		if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+			s.stop = Budget
+			return true
 		}
 	}
-	return s.deadline
+	return false
 }
 
 // pickPair returns the index of the unresolved pair to branch on, or -1 if
@@ -176,7 +209,7 @@ func (s *searcher) pickPair() int {
 func (s *searcher) dfs() Status {
 	s.steps++
 	if s.outOfBudget() {
-		return Budget
+		return s.stop
 	}
 	k := s.pickPair()
 	if k < 0 {
@@ -201,9 +234,9 @@ func (s *searcher) dfs() Status {
 		switch st := s.dfs(); st {
 		case Solved:
 			return Solved
-		case Budget:
+		case Budget, Cancelled:
 			s.m.Pop()
-			return Budget
+			return st
 		default:
 			s.m.Pop()
 		}

@@ -1,0 +1,133 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/workload"
+)
+
+// laggard blocks until its context is cancelled, then records when it
+// observed the cancellation. It stands in for a slow search member.
+type laggard struct {
+	observed chan struct{}
+}
+
+func (l *laggard) Name() string { return "laggard" }
+
+func (l *laggard) Allocate(p *buffers.Problem) (*buffers.Solution, error) {
+	return nil, errors.New("laggard: no context, cannot run")
+}
+
+func (l *laggard) AllocateContext(ctx context.Context, p *buffers.Problem) (*buffers.Solution, error) {
+	select {
+	case <-ctx.Done():
+		close(l.observed)
+		return nil, ctx.Err()
+	case <-time.After(30 * time.Second):
+		return nil, errors.New("laggard: never cancelled")
+	}
+}
+
+// panicky crashes mid-allocation — the misbehaving third-party member.
+type panicky struct{}
+
+func (panicky) Name() string { return "panicky" }
+func (panicky) Allocate(p *buffers.Problem) (*buffers.Solution, error) {
+	panic("member corrupted its scratch state")
+}
+
+// TestRacingCancelsLaggards: once a fast member wins, losing members
+// observe cancellation promptly instead of running to their own budgets.
+func TestRacingCancelsLaggards(t *testing.T) {
+	p := workload.NonOverlapping(10, 1)
+	lag := &laggard{observed: make(chan struct{})}
+	res, err := Racing(p, heuristics.GreedyContention{}, lag)
+	if err != nil {
+		t.Fatalf("racing failed: %v", err)
+	}
+	if res.Winner != "greedy-contention" {
+		t.Fatalf("winner %q, want greedy-contention", res.Winner)
+	}
+	select {
+	case <-lag.observed:
+		// Laggard saw the cancellation.
+	case <-time.After(5 * time.Second):
+		t.Fatal("laggard did not observe cancellation within 5s of the win")
+	}
+}
+
+// TestRacingTelamallocLaggardStops: the real TelaMalloc allocator, raced
+// against an instant winner on a hard instance, stops via the context path
+// instead of searching to exhaustion.
+func TestRacingTelamallocLaggardStops(t *testing.T) {
+	// Tight single-component instance: TelaMalloc would search a long time.
+	p := workload.FullOverlap(60, 5)
+	tela := core.Allocator{Config: core.Config{DisableSplit: true}}
+	start := time.Now()
+	res, err := Racing(p, heuristics.GreedyContention{}, tela)
+	if err != nil {
+		// Greedy may legitimately fail on a tight instance; then TelaMalloc
+		// decides the race and there is no laggard to cancel.
+		t.Skipf("no instant winner on this fixture: %v", err)
+	}
+	_ = res
+	// No timing assertion here — the derived context is cancelled on
+	// return; TestRacingCancelsLaggards asserts the observation. This test
+	// pins that the ContextAllocator wiring accepts core.Allocator.
+	_ = start
+}
+
+// TestRacingContainsPanickingMember: a panicking member becomes an error
+// entry, the healthy member still wins, and the process survives.
+func TestRacingContainsPanickingMember(t *testing.T) {
+	p := workload.NonOverlapping(10, 2)
+	res, err := Racing(p, panicky{}, heuristics.GreedyContention{})
+	if err != nil {
+		t.Fatalf("racing failed despite a healthy member: %v", err)
+	}
+	if res.Winner != "greedy-contention" {
+		t.Fatalf("winner %q, want greedy-contention", res.Winner)
+	}
+}
+
+// TestSequentialContainsPanickingMember: same containment in the
+// sequential ladder.
+func TestSequentialContainsPanickingMember(t *testing.T) {
+	p := workload.NonOverlapping(10, 3)
+	res, err := Sequential(p, panicky{}, heuristics.GreedyContention{})
+	if err != nil {
+		t.Fatalf("sequential failed despite a healthy member: %v", err)
+	}
+	if res.Winner != "greedy-contention" || res.Attempts != 2 {
+		t.Fatalf("winner %q after %d attempts, want greedy-contention after 2", res.Winner, res.Attempts)
+	}
+}
+
+// TestSequentialContextStopsBetweenMembers: a done context stops the chain
+// before the next member starts.
+func TestSequentialContextStopsBetweenMembers(t *testing.T) {
+	p := workload.NonOverlapping(10, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SequentialContext(ctx, p, heuristics.GreedyContention{})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+}
+
+// TestAllFailedStillReported: when every member fails the sentinel is
+// preserved for errors.Is.
+func TestAllFailedStillReported(t *testing.T) {
+	p := workload.FullOverlap(30, 6)
+	p.Memory = p.Buffers[0].Size // hopeless
+	_, err := Racing(p, panicky{})
+	if !errors.Is(err, ErrAllFailed) {
+		t.Fatalf("err %v, want ErrAllFailed", err)
+	}
+}

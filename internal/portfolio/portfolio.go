@@ -11,9 +11,16 @@
 //     cancelling the rest — bounds latency by the *fastest* solver on every
 //     input at the cost of parallel CPU, useful on servers (§2.3's XLA
 //     setting, where compile machines have cores to spare).
+//
+// Both arrangements are hardened for production serving: a member that
+// panics is contained (its goroutine recovers and the panic becomes that
+// member's error), and members implementing ContextAllocator observe
+// cancellation — Racing cancels losers as soon as a winner validates, so
+// laggards stop burning CPU instead of running to their own budgets.
 package portfolio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,6 +32,16 @@ import (
 
 // ErrAllFailed is returned when every member failed.
 var ErrAllFailed = errors.New("portfolio: every allocator failed")
+
+// ContextAllocator is implemented by members that support cooperative
+// cancellation (core.Allocator does). Racing uses it to stop losing members
+// promptly once a winner is found; members without it simply run to their
+// own budgets, matching how allocator libraries without cancellation hooks
+// are raced in practice.
+type ContextAllocator interface {
+	heuristics.Allocator
+	AllocateContext(ctx context.Context, p *buffers.Problem) (*buffers.Solution, error)
+}
 
 // Result identifies which member produced the packing.
 type Result struct {
@@ -38,12 +55,22 @@ type Result struct {
 
 // Sequential tries members in order and returns the first valid solution.
 func Sequential(p *buffers.Problem, members ...heuristics.Allocator) (*Result, error) {
+	return SequentialContext(context.Background(), p, members...)
+}
+
+// SequentialContext is Sequential with cooperative cancellation: the chain
+// stops between members once ctx is done, and members implementing
+// ContextAllocator observe cancellation mid-solve.
+func SequentialContext(ctx context.Context, p *buffers.Problem, members ...heuristics.Allocator) (*Result, error) {
 	if len(members) == 0 {
 		return nil, errors.New("portfolio: no members")
 	}
 	var errs []string
 	for i, m := range members {
-		sol, err := m.Allocate(p)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("portfolio: cancelled after %d members: %w", i, err)
+		}
+		sol, err := safeAllocate(ctx, m, p)
 		if err == nil {
 			if verr := sol.Validate(p); verr != nil {
 				return nil, fmt.Errorf("portfolio: %s returned invalid packing: %w", m.Name(), verr)
@@ -56,14 +83,24 @@ func Sequential(p *buffers.Problem, members ...heuristics.Allocator) (*Result, e
 }
 
 // Racing runs all members concurrently and returns the first valid
-// solution. Members should carry their own budgets (steps or deadlines);
-// Racing does not forcibly kill laggards, it just stops waiting for them —
-// matching how allocator libraries without cancellation hooks are raced in
-// practice.
+// solution; see RacingContext for the cancellation contract.
 func Racing(p *buffers.Problem, members ...heuristics.Allocator) (*Result, error) {
+	return RacingContext(context.Background(), p, members...)
+}
+
+// RacingContext runs all members concurrently and returns the first valid
+// solution. Losing members are cancelled as soon as the winner validates:
+// every member runs under a context derived from ctx that is cancelled on
+// return, so ContextAllocator members stop within their polling stride
+// instead of running to their own budgets. Members without cancellation
+// support are not forcibly killed — Racing stops waiting for them and their
+// goroutines drain in the background.
+func RacingContext(ctx context.Context, p *buffers.Problem, members ...heuristics.Allocator) (*Result, error) {
 	if len(members) == 0 {
 		return nil, errors.New("portfolio: no members")
 	}
+	raceCtx, stop := context.WithCancel(ctx)
+	defer stop()
 	type outcome struct {
 		sol  *buffers.Solution
 		name string
@@ -78,16 +115,14 @@ func Racing(p *buffers.Problem, members ...heuristics.Allocator) (*Result, error
 			// Each goroutine gets its own clone: allocators promise not to
 			// mutate the problem, but isolation is cheap insurance against
 			// shared scratch state.
-			sol, err := m.Allocate(p.Clone())
+			sol, err := safeAllocate(raceCtx, m, p.Clone())
 			results <- outcome{sol, m.Name(), err}
 		}(m)
 	}
 	go func() { wg.Wait(); close(results) }()
 
 	var errs []string
-	attempts := 0
 	for out := range results {
-		attempts++
 		if out.err != nil {
 			errs = append(errs, fmt.Sprintf("%s: %v", out.name, out.err))
 			continue
@@ -98,6 +133,24 @@ func Racing(p *buffers.Problem, members ...heuristics.Allocator) (*Result, error
 		}
 		return &Result{Solution: out.sol, Winner: out.name, Attempts: len(members)}, nil
 	}
-	_ = attempts
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("portfolio: cancelled: %w", err)
+	}
 	return nil, fmt.Errorf("%w: %s", ErrAllFailed, strings.Join(errs, "; "))
+}
+
+// safeAllocate invokes one member inside a containment boundary: a panic in
+// the member — a learned policy, a third-party allocator — becomes that
+// member's error instead of crashing the process. Members that support
+// cancellation receive the context.
+func safeAllocate(ctx context.Context, m heuristics.Allocator, p *buffers.Problem) (sol *buffers.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, fmt.Errorf("portfolio: panic in member %s: %v", m.Name(), r)
+		}
+	}()
+	if cm, ok := m.(ContextAllocator); ok {
+		return cm.AllocateContext(ctx, p)
+	}
+	return m.Allocate(p)
 }

@@ -13,12 +13,15 @@
 package spill
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
 	"telamalloc/internal/heuristics"
+	"telamalloc/internal/portfolio"
 )
 
 // ErrCannotFit is returned when even spilling every eligible buffer leaves
@@ -40,7 +43,20 @@ type Request struct {
 	Allocator heuristics.Allocator
 	// MaxSpills caps evictions (0 = no cap).
 	MaxSpills int
+	// Ctx, when non-nil, cancels planning: it is checked before every
+	// allocation attempt, and allocators implementing
+	// portfolio.ContextAllocator observe it mid-solve too.
+	Ctx context.Context
 }
+
+// ErrCancelled is returned when Request.Ctx is done before a plan is found.
+var ErrCancelled = errors.New("spill: planning cancelled")
+
+// ErrAllocatorPanic is wrapped when the packing allocator panics during
+// planning. The panic is contained, but planning aborts: a crashing
+// allocator would fail every retained set, and evicting buffers to work
+// around it would misreport an internal failure as a capacity problem.
+var ErrAllocatorPanic = errors.New("spill: allocator panicked")
 
 // Plan is the result of planning.
 type Plan struct {
@@ -82,9 +98,12 @@ func Make(req Request) (*Plan, error) {
 	}
 	plan := &Plan{}
 	for {
+		if req.Ctx != nil && req.Ctx.Err() != nil {
+			return nil, fmt.Errorf("%w after %d attempts: %v", ErrCancelled, plan.Attempts, req.Ctx.Err())
+		}
 		sub, back := subset(p, retained)
 		plan.Attempts++
-		sol, err := req.Allocator.Allocate(sub)
+		sol, err := allocate(req, sub)
 		if err == nil {
 			full := buffers.NewSolution(n)
 			for subID, off := range sol.Offsets {
@@ -92,6 +111,9 @@ func Make(req Request) (*Plan, error) {
 			}
 			plan.Solution = full
 			return plan, nil
+		}
+		if errors.Is(err, ErrAllocatorPanic) || errors.Is(err, core.ErrPanic) {
+			return nil, err
 		}
 		if req.MaxSpills > 0 && len(plan.Spilled) >= req.MaxSpills {
 			return nil, fmt.Errorf("%w: spill cap %d reached", ErrCannotFit, req.MaxSpills)
@@ -104,6 +126,21 @@ func Make(req Request) (*Plan, error) {
 		plan.Spilled = append(plan.Spilled, victim)
 		plan.SpillCost += weights[victim]
 	}
+}
+
+// allocate runs one packing attempt inside a containment boundary — a
+// panicking allocator becomes a failed attempt-chain, not a crashed planner
+// — and forwards the request context to allocators that can observe it.
+func allocate(req Request, sub *buffers.Problem) (sol *buffers.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = nil, fmt.Errorf("%w: %v", ErrAllocatorPanic, r)
+		}
+	}()
+	if cm, ok := req.Allocator.(portfolio.ContextAllocator); ok && req.Ctx != nil {
+		return cm.AllocateContext(req.Ctx, sub)
+	}
+	return req.Allocator.Allocate(sub)
 }
 
 // chooseVictim picks the cheapest useful eviction: among buffers live during

@@ -36,6 +36,12 @@ const (
 	// ran. The framework itself never returns it; core.Solve uses it to
 	// keep invalid input distinguishable from an exhausted search.
 	Invalid
+	// Internal means the search was aborted by a contained panic — in a
+	// worker, a user-supplied hook, or the solver itself. The framework
+	// never returns it directly; core.Solve's panic-containment boundary
+	// converts recovered panics into it so a misbehaving component can
+	// never crash the host process.
+	Internal
 )
 
 func (s Status) String() string {
@@ -50,6 +56,8 @@ func (s Status) String() string {
 		return "cancelled"
 	case Invalid:
 		return "invalid-problem"
+	case Internal:
+		return "internal-error"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -144,6 +152,14 @@ type Options struct {
 	// cooperative-cancellation hook the parallel subproblem solver uses to
 	// stop sibling searches once one component definitively fails.
 	Cancel func() bool
+	// TestHook, when non-nil, is called on every budget check — at least
+	// once per candidate attempt — making it a deterministic per-step
+	// instrumentation point for fault injection (internal/faultinject).
+	// Returning true forces the search to stop with status Budget
+	// (injected starvation); the hook may also stall or panic, and panics
+	// are contained by core.Solve's recovery boundary. Test-only: must be
+	// nil in production configurations.
+	TestHook func() bool
 }
 
 func (o Options) stuckThreshold() int {
@@ -235,6 +251,13 @@ func (s *searcher) outOfBudget() bool {
 		return true
 	}
 	if s.opts.MaxSteps > 0 && s.st.Stats.Steps >= s.opts.MaxSteps {
+		s.stop = Budget
+		return true
+	}
+	// The test hook runs on every check, not on the poll stride:
+	// fault-injection points must fire at deterministic step counts
+	// regardless of how the stride happens to align.
+	if s.opts.TestHook != nil && s.opts.TestHook() {
 		s.stop = Budget
 		return true
 	}

@@ -1,6 +1,7 @@
 package telamalloc
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 	"telamalloc/internal/mlpolicy"
 )
 
-// Option configures Allocate.
+// Option configures Allocate and AllocatePipeline.
 type Option func(*config)
 
 type config struct {
@@ -19,6 +20,14 @@ type config struct {
 	model         *BacktrackModel
 	gate          *StepGateModel
 	gateThreshold float64
+	// timeout is the wall-clock budget. It is stored as a duration and
+	// resolved into core.Deadline when the solve *starts*, so a config
+	// built ahead of time — or reused across calls — gets the full budget
+	// on every call instead of one that silently shrank since the option
+	// was applied.
+	timeout time.Duration
+	ctx     context.Context
+	pipe    pipelineConfig
 }
 
 func buildConfig(opts []Option) config {
@@ -34,9 +43,18 @@ func WithMaxSteps(n int64) Option {
 	return func(c *config) { c.core.MaxSteps = n }
 }
 
-// WithTimeout aborts the allocation after d.
+// WithTimeout aborts the allocation after d, measured from the moment the
+// solve starts — not from when the option was applied — so option lists
+// can be built ahead of time and reused across calls.
 func WithTimeout(d time.Duration) Option {
-	return func(c *config) { c.core.Deadline = time.Now().Add(d) }
+	return func(c *config) { c.timeout = d }
+}
+
+// WithContext cancels the allocation when ctx is done — cancelled or past
+// its deadline — returning ErrCancelled. Cancellation is cooperative: it is
+// observed within the search's polling stride, from every parallel worker.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 // WithParallelism bounds how many independent subproblems are searched
@@ -139,16 +157,28 @@ func WithStepGate(m *StepGateModel, threshold float64) Option {
 }
 
 // finalize binds problem-dependent pieces (the learned chooser and the step
-// gate) once the internal problem exists.
+// gate) and solve-start-dependent pieces (the wall-clock deadline, the
+// context) once the internal problem exists and the solve is beginning.
 func (c *config) finalize(q *buffers.Problem) core.Config {
 	cfg := c.core
+	if c.timeout > 0 {
+		deadline := time.Now().Add(c.timeout)
+		if cfg.Deadline.IsZero() || deadline.Before(cfg.Deadline) {
+			cfg.Deadline = deadline
+		}
+	}
+	if c.ctx != nil {
+		cfg.Ctx = c.ctx
+	}
 	if c.model != nil {
 		cfg.Chooser = mlpolicy.NewChooser(c.model.forest, q)
 	}
 	if c.gate != nil {
 		threshold := c.gateThreshold
 		if threshold <= 0 {
-			threshold = 0
+			// The documented default: WithStepGate promises that a
+			// non-positive threshold means 0.5, not "expensive path always".
+			threshold = 0.5
 		}
 		cfg.Gate = mlpolicy.NewStepGate(c.gate.forest, q, threshold)
 	}

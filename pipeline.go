@@ -1,0 +1,463 @@
+package telamalloc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/core"
+	"telamalloc/internal/heuristics"
+	"telamalloc/internal/spill"
+	"telamalloc/internal/telamon"
+)
+
+// AllocatePipeline runs the production escalation ladder the paper's
+// deployment story describes (§7.2): cheap heuristics first, the TelaMalloc
+// search when they fail, and spill planning as the last resort, so the
+// caller always gets either a packing, a degradation plan, or a structured
+// failure — never a crash and never an unbounded stall.
+//
+// The default ladder is greedy → best-fit → search → spill. Each stage is
+// run inside a panic-containment boundary: a stage that panics (including a
+// misbehaving learned policy inside the search) records ErrInternal for
+// that stage and the ladder escalates instead of crashing the process. A
+// context cancellation (WithContext) stops the ladder with ErrCancelled.
+//
+// One global budget — WithMaxSteps for search steps, WithTimeout for wall
+// clock — is carved into per-stage shares (WithStageShare); whatever a
+// stage leaves unused rolls forward to the stages after it.
+
+// Stage names accepted by WithStages and WithStageShare, in the default
+// ladder order.
+const (
+	StageGreedy  = "greedy"
+	StageBestFit = "best-fit"
+	StageSearch  = "search"
+	StageSpill   = "spill"
+)
+
+// defaultLadder is the escalation order when WithStages is not given.
+var defaultLadder = []string{StageGreedy, StageBestFit, StageSearch, StageSpill}
+
+// defaultShares weight the global step/time pot across stages. The
+// heuristic stages are practically instant, so nearly the whole pot belongs
+// to the search, with a reserve for spill planning's repeated solves.
+var defaultShares = map[string]float64{
+	StageGreedy:  0.01,
+	StageBestFit: 0.01,
+	StageSearch:  0.68,
+	StageSpill:   0.30,
+}
+
+// pipelineConfig is the pipeline-specific part of config.
+type pipelineConfig struct {
+	stages    []string
+	shares    map[string]float64
+	maxSpills int
+	weights   []int64
+	pinned    []bool
+}
+
+// WithStages overrides the escalation ladder. Stages run in the given
+// order; each must be one of StageGreedy, StageBestFit, StageSearch,
+// StageSpill, and may appear at most once.
+func WithStages(stages ...string) Option {
+	// Non-nil even for zero stages, so an explicitly empty ladder is
+	// rejected instead of silently becoming the default one.
+	return func(c *config) { c.pipe.stages = append(make([]string, 0, len(stages)), stages...) }
+}
+
+// WithStageShare sets a stage's weight when carving the global deadline and
+// step pot. Weights are relative: a stage's budget is its weight divided by
+// the summed weights of the stages that have not run yet, applied to
+// whatever budget remains — so unused budget automatically rolls forward.
+func WithStageShare(stage string, share float64) Option {
+	return func(c *config) {
+		if c.pipe.shares == nil {
+			c.pipe.shares = make(map[string]float64)
+		}
+		c.pipe.shares[stage] = share
+	}
+}
+
+// WithMaxSpills caps evictions in the spill stage (0 = no cap).
+func WithMaxSpills(n int) Option {
+	return func(c *config) { c.pipe.maxSpills = n }
+}
+
+// WithSpillCosts sets per-buffer spill weights and pin flags for the spill
+// stage: weights[i] is the cost of demoting buffer i (nil = its size), and
+// pinned[i] marks buffers that must stay on-chip (nil = none).
+func WithSpillCosts(weights []int64, pinned []bool) Option {
+	return func(c *config) {
+		c.pipe.weights = append([]int64(nil), weights...)
+		c.pipe.pinned = append([]bool(nil), pinned...)
+	}
+}
+
+// StageReport is one stage's outcome inside a PipelineResult.
+type StageReport struct {
+	// Stage is the stage name (StageGreedy, ...).
+	Stage string
+	// Err is nil when the stage produced the winning solution; otherwise
+	// it wraps exactly one public sentinel explaining why the ladder
+	// escalated past the stage.
+	Err error
+	// Skipped marks stages that never ran, with SkipReason saying why
+	// (provable infeasibility, an earlier win, or cancellation).
+	Skipped    bool
+	SkipReason string
+	// Stats holds search-effort counters for stages that search.
+	Stats Stats
+	// StepBudget is the share of the global step pot the stage received
+	// (0 = unlimited).
+	StepBudget int64
+	// Elapsed is the stage's wall-clock time.
+	Elapsed time.Duration
+}
+
+// SpillPlan describes the degradation the spill stage chose.
+type SpillPlan struct {
+	// Spilled lists evicted buffer indices (into Problem.Buffers) in
+	// eviction order; their Solution offsets are -1.
+	Spilled []int
+	// SpillCost is the summed weight of evicted buffers.
+	SpillCost int64
+	// Attempts counts allocator invocations during planning.
+	Attempts int
+}
+
+// PipelineResult is the structured outcome of AllocatePipeline.
+type PipelineResult struct {
+	// Solution holds the packing when Err is nil. When Degraded, spilled
+	// buffers carry offset -1 and the remaining offsets form a valid
+	// packing of the retained set.
+	Solution Solution
+	// Winner is the stage that produced the solution ("" on failure).
+	Winner string
+	// Degraded reports that the solution required evicting buffers.
+	Degraded bool
+	// Spill is set whenever the spill stage won, even with zero evictions
+	// (Attempts is still informative); Degraded is true only when Spilled
+	// is non-empty.
+	Spill *SpillPlan
+	// Stages reports every configured stage in ladder order.
+	Stages []StageReport
+	// LowerBound is the contention peak — an unconditional lower bound on
+	// the memory any packing needs. On hard failure it is the evidence:
+	// LowerBound > Memory proves no packing exists.
+	LowerBound int64
+	// Memory echoes the problem's limit, so LowerBound is interpretable.
+	Memory int64
+}
+
+// AllocatePipeline packs the problem through the escalation ladder. A nil
+// error guarantees a usable result: either a full packing (Degraded false,
+// same validity contract as Allocate) or a spill-degraded one (Degraded
+// true). On failure the error wraps exactly one public sentinel and
+// PipelineResult still carries the per-stage evidence.
+func AllocatePipeline(p Problem, opts ...Option) (PipelineResult, error) {
+	c := buildConfig(opts)
+	q := toInternal(p)
+	out := PipelineResult{Memory: p.Memory}
+	if err := q.Validate(); err != nil {
+		return out, fmt.Errorf("%w: %v", ErrInvalidProblem, err)
+	}
+	out.LowerBound = buffers.Contention(q).Peak()
+
+	ladder := c.pipe.stages
+	if ladder == nil {
+		ladder = defaultLadder
+	}
+	if err := validateLadder(ladder); err != nil {
+		return out, err
+	}
+
+	// Resolve the global budget once, at pipeline start: the step pot from
+	// WithMaxSteps and the deadline from WithTimeout (measured from now) or
+	// an explicit core deadline.
+	globalDeadline := time.Time{}
+	if c.timeout > 0 {
+		globalDeadline = time.Now().Add(c.timeout)
+	}
+	if !c.core.Deadline.IsZero() && (globalDeadline.IsZero() || c.core.Deadline.Before(globalDeadline)) {
+		globalDeadline = c.core.Deadline
+	}
+	c.core.Deadline = globalDeadline
+	c.timeout = 0 // finalize must not re-resolve it per stage
+	stepPot := c.core.MaxSteps
+
+	// Provable infeasibility: no packing fits under the contention peak,
+	// so every packing stage would only burn its budget before failing.
+	// Jump straight to degradation.
+	infeasible := out.LowerBound > p.Memory
+
+	run := newLadderRun(c, q, ladder, stepPot, globalDeadline)
+	for i, stage := range ladder {
+		if err := run.ctxErr(); err != nil {
+			run.skipFrom(i, "pipeline cancelled")
+			out.Stages = run.reports
+			return out, fmt.Errorf("%w: %v", ErrCancelled, err)
+		}
+		if infeasible && stage != StageSpill {
+			run.skip(stage, fmt.Sprintf("provably infeasible: lower bound %d > memory %d", out.LowerBound, p.Memory))
+			continue
+		}
+		rep, sol, plan := run.runStage(stage)
+		if sol != nil {
+			run.skipFrom(i+1, "earlier stage succeeded")
+			out.Stages = run.reports
+			out.Winner = stage
+			out.Solution = Solution{Offsets: sol.Offsets}
+			if plan != nil {
+				out.Spill = plan
+				out.Degraded = len(plan.Spilled) > 0
+			}
+			return out, nil
+		}
+		if errors.Is(rep.Err, ErrCancelled) {
+			run.skipFrom(i+1, "pipeline cancelled")
+			out.Stages = run.reports
+			return out, rep.Err
+		}
+	}
+	out.Stages = run.reports
+	return out, run.failure(out)
+}
+
+// validateLadder rejects unknown or duplicated stage names.
+func validateLadder(ladder []string) error {
+	if len(ladder) == 0 {
+		return fmt.Errorf("%w: empty pipeline ladder", ErrInvalidProblem)
+	}
+	seen := make(map[string]bool, len(ladder))
+	for _, s := range ladder {
+		switch s {
+		case StageGreedy, StageBestFit, StageSearch, StageSpill:
+		default:
+			return fmt.Errorf("%w: unknown pipeline stage %q", ErrInvalidProblem, s)
+		}
+		if seen[s] {
+			return fmt.Errorf("%w: duplicate pipeline stage %q", ErrInvalidProblem, s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+// ladderRun carries the escalation state: remaining budget, per-stage
+// reports, and the configuration shared by all stages.
+type ladderRun struct {
+	c              config
+	q              *buffers.Problem
+	ladder         []string
+	remainingSteps int64
+	globalDeadline time.Time
+	reports        []StageReport
+	started        int // stages run or skipped so far
+}
+
+func newLadderRun(c config, q *buffers.Problem, ladder []string, pot int64, deadline time.Time) *ladderRun {
+	return &ladderRun{c: c, q: q, ladder: ladder, remainingSteps: pot, globalDeadline: deadline}
+}
+
+func (lr *ladderRun) ctxErr() error {
+	if lr.c.ctx != nil {
+		return lr.c.ctx.Err()
+	}
+	return nil
+}
+
+// shareOf returns stage's weight under the configured (or default) shares.
+func (lr *ladderRun) shareOf(stage string) float64 {
+	if lr.c.pipe.shares != nil {
+		if w, ok := lr.c.pipe.shares[stage]; ok && w > 0 {
+			return w
+		}
+	}
+	if w, ok := defaultShares[stage]; ok {
+		return w
+	}
+	return 1
+}
+
+// carve computes the stage's slice of the remaining step pot and wall
+// clock: its weight over the summed weights of the not-yet-run stages.
+// Stages that left budget unused implicitly roll it forward, because every
+// carve starts from what actually remains.
+func (lr *ladderRun) carve(stage string) (steps int64, deadline time.Time) {
+	var sum float64
+	for _, s := range lr.ladder[lr.started:] {
+		sum += lr.shareOf(s)
+	}
+	frac := 1.0
+	if sum > 0 {
+		frac = lr.shareOf(stage) / sum
+	}
+	if lr.remainingSteps > 0 {
+		steps = int64(float64(lr.remainingSteps) * frac)
+		if steps < 1 {
+			steps = 1
+		}
+	}
+	deadline = lr.globalDeadline
+	if !deadline.IsZero() && frac < 1 {
+		if left := time.Until(deadline); left > 0 {
+			deadline = time.Now().Add(time.Duration(float64(left) * frac))
+		}
+	}
+	return steps, deadline
+}
+
+// skip records a stage that never ran.
+func (lr *ladderRun) skip(stage, reason string) {
+	lr.reports = append(lr.reports, StageReport{Stage: stage, Skipped: true, SkipReason: reason})
+	lr.started++
+}
+
+// skipFrom marks every stage at index i and beyond as skipped.
+func (lr *ladderRun) skipFrom(i int, reason string) {
+	for _, s := range lr.ladder[i:] {
+		lr.skip(s, reason)
+	}
+}
+
+// runStage executes one stage inside the containment boundary and records
+// its report. A non-nil sol means the stage won; plan is non-nil only for
+// the spill stage.
+func (lr *ladderRun) runStage(stage string) (rep StageReport, sol *buffers.Solution, plan *SpillPlan) {
+	steps, deadline := lr.carve(stage)
+	rep = StageReport{Stage: stage, StepBudget: steps}
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				sol, plan = nil, nil
+				rep.Err = fmt.Errorf("%w: panic in stage %s: %v", ErrInternal, stage, r)
+			}
+		}()
+		if hook := lr.c.core.Hook; hook != nil {
+			hook("stage:" + stage)
+		}
+		sol, plan, rep.Stats, rep.Err = lr.execute(stage, steps, deadline)
+	}()
+	rep.Elapsed = time.Since(start)
+	if rep.Stats.Steps > 0 && lr.remainingSteps > 0 {
+		lr.remainingSteps -= rep.Stats.Steps
+		if lr.remainingSteps < 1 {
+			lr.remainingSteps = 1 // a zero pot would read as "unlimited"
+		}
+	}
+	lr.reports = append(lr.reports, rep)
+	lr.started++
+	return rep, sol, plan
+}
+
+// execute dispatches one stage. Every error path wraps exactly one public
+// sentinel.
+func (lr *ladderRun) execute(stage string, steps int64, deadline time.Time) (*buffers.Solution, *SpillPlan, Stats, error) {
+	switch stage {
+	case StageGreedy:
+		sol, err := heuristics.GreedyContention{}.Allocate(lr.q)
+		if err != nil {
+			return nil, nil, Stats{}, fmt.Errorf("%w: greedy: %v", ErrNoSolution, err)
+		}
+		return sol, nil, Stats{}, nil
+	case StageBestFit:
+		sol, err := heuristics.BestFit{}.Allocate(lr.q)
+		if err != nil {
+			return nil, nil, Stats{}, fmt.Errorf("%w: best-fit: %v", ErrNoSolution, err)
+		}
+		return sol, nil, Stats{}, nil
+	case StageSearch:
+		cfg := lr.searchConfig(steps, deadline)
+		res := core.Solve(lr.q, cfg)
+		st := statsFrom(res)
+		switch res.Status {
+		case telamon.Solved:
+			return res.Solution, nil, st, nil
+		case telamon.Budget:
+			return nil, nil, st, fmt.Errorf("%w: search stage", ErrBudget)
+		case telamon.Cancelled:
+			return nil, nil, st, fmt.Errorf("%w: search stage", ErrCancelled)
+		case telamon.Internal:
+			return nil, nil, st, fmt.Errorf("%w: search stage: %v", ErrInternal, res.Err)
+		default:
+			return nil, nil, st, fmt.Errorf("%w: search stage", ErrNoSolution)
+		}
+	case StageSpill:
+		cfg := lr.searchConfig(steps, deadline)
+		req := spill.Request{
+			Problem:   lr.q,
+			Weights:   lr.c.pipe.weights,
+			Pinned:    lr.c.pipe.pinned,
+			Allocator: core.Allocator{Config: cfg},
+			MaxSpills: lr.c.pipe.maxSpills,
+			Ctx:       lr.c.ctx,
+		}
+		if req.Weights != nil && len(req.Weights) == 0 {
+			req.Weights = nil
+		}
+		if req.Pinned != nil && len(req.Pinned) == 0 {
+			req.Pinned = nil
+		}
+		plan, err := spill.Make(req)
+		if err != nil {
+			switch {
+			case errors.Is(err, spill.ErrCancelled):
+				return nil, nil, Stats{}, fmt.Errorf("%w: spill stage: %v", ErrCancelled, err)
+			case errors.Is(err, spill.ErrAllocatorPanic), errors.Is(err, core.ErrPanic):
+				return nil, nil, Stats{}, fmt.Errorf("%w: spill stage: %v", ErrInternal, err)
+			case errors.Is(err, spill.ErrCannotFit):
+				return nil, nil, Stats{}, fmt.Errorf("%w: spill stage: %v", ErrNoSolution, err)
+			default:
+				return nil, nil, Stats{}, fmt.Errorf("%w: spill stage: %v", ErrNoSolution, err)
+			}
+		}
+		return plan.Solution, &SpillPlan{
+			Spilled:   append([]int(nil), plan.Spilled...),
+			SpillCost: plan.SpillCost,
+			Attempts:  plan.Attempts,
+		}, Stats{}, nil
+	}
+	return nil, nil, Stats{}, fmt.Errorf("%w: unknown pipeline stage %q", ErrInvalidProblem, stage)
+}
+
+// searchConfig finalizes the user config for a searching stage with the
+// stage's carved budget.
+func (lr *ladderRun) searchConfig(steps int64, deadline time.Time) core.Config {
+	cfg := lr.c.finalize(lr.q)
+	cfg.MaxSteps = steps
+	cfg.Deadline = deadline
+	return cfg
+}
+
+func statsFrom(res core.Result) Stats {
+	return Stats{
+		Steps:           res.Stats.Steps,
+		Placements:      res.Stats.Placements,
+		MinorBacktracks: res.Stats.MinorBacktracks,
+		MajorBacktracks: res.Stats.MajorBacktracks,
+		Subproblems:     res.Subproblems,
+	}
+}
+
+// failure picks the terminal error after every stage failed: the verdict
+// of the last stage that actually ran, since the ladder escalates and the
+// final stage is the most empowered one — a greedy miss means nothing once
+// the search has spoken, and ErrCannotFit from the spill stage outranks
+// both. (Cancellation never reaches here; the ladder returns ErrCancelled
+// as soon as a stage reports it.) The PipelineResult carries the
+// lower-bound evidence either way.
+func (lr *ladderRun) failure(out PipelineResult) error {
+	for i := len(lr.reports) - 1; i >= 0; i-- {
+		if rep := lr.reports[i]; !rep.Skipped && rep.Err != nil {
+			return rep.Err
+		}
+	}
+	// Every stage skipped (e.g. a ladder without a spill stage on a
+	// provably infeasible problem): report the evidence directly.
+	return fmt.Errorf("%w: no stage produced a packing (lower bound %d, memory %d)",
+		ErrNoSolution, out.LowerBound, out.Memory)
+}

@@ -84,6 +84,12 @@ var (
 	ErrCancelled = errors.New("telamalloc: allocation cancelled")
 	// ErrInvalidProblem flags structurally invalid input.
 	ErrInvalidProblem = errors.New("telamalloc: invalid problem")
+	// ErrInternal means a component panicked — a search worker, a learned
+	// policy hook, or a portfolio member — and the panic was contained at
+	// the allocator boundary instead of crashing the process. The wrapped
+	// message attributes the failing component. An ErrInternal result says
+	// nothing about the problem's feasibility.
+	ErrInternal = errors.New("telamalloc: internal allocator failure")
 )
 
 // toInternal converts the public problem to the internal representation.
@@ -125,6 +131,8 @@ func Allocate(p Problem, opts ...Option) (Solution, Stats, error) {
 	case telamon.Invalid:
 		// Unreachable in practice: the problem was validated above.
 		return Solution{}, st, fmt.Errorf("%w: %v", ErrInvalidProblem, res.Err)
+	case telamon.Internal:
+		return Solution{}, st, fmt.Errorf("%w: %v", ErrInternal, res.Err)
 	default:
 		return Solution{}, st, ErrNoSolution
 	}
