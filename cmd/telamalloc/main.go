@@ -9,6 +9,19 @@
 //	telamalloc -trace model.json -out packed.json
 //	telamalloc -model OpenPose -ratio 110        # built-in workload proxy
 //	telamalloc -model OpenPose -ratio 90 -pipeline  # full escalation ladder
+//
+// Exit codes in -pipeline mode distinguish how the request was served, so
+// callers (CI, compile drivers) can branch without parsing output:
+//
+//	0  full packing within the memory limit
+//	4  degraded but served — the ladder fell through to spill planning;
+//	   the packing is valid for the reduced buffer set
+//	2  hard failure: no packing and no viable spill plan
+//	3  allocator bug: a stage reported success with an invalid packing
+//	1  usage or I/O error
+//
+// Other modes keep the historical contract: 0 success, 2 solve failure,
+// 3 invalid packing, 1 usage/I/O.
 package main
 
 import (
@@ -156,6 +169,12 @@ func runPipeline(p *buffers.Problem, maxSteps int64, timeout time.Duration, para
 			res.Winner, float64(elapsed.Microseconds())/1e3,
 			len(res.Spill.Spilled), res.Spill.SpillCost, res.Spill.Attempts)
 	} else {
+		// A full packing claim is checked before we vouch for it with exit
+		// code 0; a stage that lied is a bug, not a solve failure.
+		if verr := res.Solution.Validate(pub); verr != nil {
+			fmt.Fprintf(os.Stderr, "BUG: pipeline stage %s returned invalid packing: %v\n", res.Winner, verr)
+			os.Exit(3)
+		}
 		fmt.Printf("pipeline: %s solved in %.2f ms, peak usage %d / %d\n",
 			res.Winner, float64(elapsed.Microseconds())/1e3,
 			res.Solution.PeakUsage(pub), pub.Memory)
@@ -172,6 +191,11 @@ func runPipeline(p *buffers.Problem, maxSteps int64, timeout time.Duration, para
 		if !quiet {
 			fmt.Printf("wrote %s\n", outPath)
 		}
+	}
+	if res.Degraded {
+		// Served, but not at full fidelity: exit 4 so callers can tell a
+		// spilled packing from a complete one without parsing stdout.
+		os.Exit(4)
 	}
 }
 

@@ -1,0 +1,261 @@
+// Command telamallocd runs the long-lived allocation service: the serving
+// harness a production fleet puts in front of the allocator so many
+// concurrent clients can load models at once without crashing, queueing
+// without bound, or hanging a compile (internal/server, DESIGN.md §9).
+//
+// Requests are line-delimited JSON, one request per line, answered with one
+// JSON report per line (order may differ from request order under
+// concurrency; correlate with "id"). By default the daemon serves stdin and
+// answers on stdout; with -listen it serves every TCP connection the same
+// protocol.
+//
+// Usage:
+//
+//	echo '{"id":"r1","memory":8,"buffers":[{"start":0,"end":4,"size":4},{"start":0,"end":4,"size":4}]}' | telamallocd
+//	telamallocd -hedge -workers 8 -req-timeout 2s < requests.jsonl
+//	telamallocd -listen :7333 &
+//
+// Request schema:
+//
+//	{"id":"r1",                 // echoed back, optional
+//	 "name":"model-a",          // diagnostic label, optional
+//	 "memory":1048576,          // scratchpad limit, required
+//	 "buffers":[{"start":0,"end":4,"size":512,"align":64}, ...],
+//	 "max_steps":200000,        // per-request step pot, optional
+//	 "timeout_ms":500}          // per-request wall pot, optional
+//
+// Report schema (one line per request):
+//
+//	{"id":"r1","outcome":"solved","winner":"greedy","offsets":[0,512],
+//	 "lower_bound":1024,"memory":1048576,"elapsed_ms":0.21,...}
+//
+// outcome is one of solved, degraded, failed, shed, cancelled, rejected;
+// shed reports carry "retry_after_ms". On stdin EOF (or SIGINT/SIGTERM in
+// -listen mode) the daemon drains gracefully — stops admitting, finishes or
+// cancels in-flight work within -drain-timeout — and prints the service
+// counters to stderr. Exit code 0 after a clean drain, 3 after a forced
+// one, 1 on usage errors.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"telamalloc"
+	"telamalloc/internal/server"
+)
+
+type wireBuffer struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	Size  int64 `json:"size"`
+	Align int64 `json:"align,omitempty"`
+}
+
+type wireRequest struct {
+	ID        string       `json:"id,omitempty"`
+	Name      string       `json:"name,omitempty"`
+	Memory    int64        `json:"memory"`
+	Buffers   []wireBuffer `json:"buffers"`
+	MaxSteps  int64        `json:"max_steps,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+type wireResponse struct {
+	ID               string   `json:"id,omitempty"`
+	Outcome          string   `json:"outcome"`
+	Winner           string   `json:"winner,omitempty"`
+	Offsets          []int64  `json:"offsets,omitempty"`
+	Spilled          []int    `json:"spilled,omitempty"`
+	SpillCost        int64    `json:"spill_cost,omitempty"`
+	LowerBound       int64    `json:"lower_bound,omitempty"`
+	Memory           int64    `json:"memory,omitempty"`
+	SkippedByBreaker []string `json:"skipped_by_breaker,omitempty"`
+	HedgeWon         bool     `json:"hedge_won,omitempty"`
+	QueueWaitMS      float64  `json:"queue_wait_ms,omitempty"`
+	ElapsedMS        float64  `json:"elapsed_ms,omitempty"`
+	RetryAfterMS     float64  `json:"retry_after_ms,omitempty"`
+	Error            string   `json:"error,omitempty"`
+}
+
+func main() {
+	var (
+		listen       = flag.String("listen", "", "TCP address to serve (empty = stdin/stdout)")
+		workers      = flag.Int("workers", 0, "concurrent pipeline executions (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "admission queue bound; beyond it requests are shed")
+		reqTimeout   = flag.Duration("req-timeout", 0, "per-request wall-clock pot, measured from admission (0 = none)")
+		maxSteps     = flag.Int64("max-steps", 0, "per-request search step pot (0 = unlimited)")
+		parallel     = flag.Int("parallel", 0, "solver parallelism per request (0 = GOMAXPROCS)")
+		hedge        = flag.Bool("hedge", false, "race a greedy/best-fit hedge against the full ladder")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive internal failures that open a stage's breaker (-1 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker window before a half-open probe")
+		slowStage    = flag.Duration("slow-stage", 0, "also trip a breaker when a stage times out after this long (0 = off)")
+		drainTO      = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain deadline on shutdown")
+		quiet        = flag.Bool("q", false, "suppress the counters summary on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		MaxSteps:       *maxSteps,
+		Parallelism:    *parallel,
+		Hedge:          *hedge,
+		DrainTimeout:   *drainTO,
+		Breaker: server.BreakerConfig{
+			Threshold: *brkThreshold,
+			Cooldown:  *brkCooldown,
+			SlowStage: *slowStage,
+		},
+	})
+
+	if *listen == "" {
+		serveStream(srv, os.Stdin, os.Stdout)
+	} else if err := serveTCP(srv, *listen); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	code := 0
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "telamallocd: %v\n", err)
+		code = 3
+	}
+	if !*quiet {
+		c := srv.Snapshot()
+		fmt.Fprintf(os.Stderr,
+			"telamallocd: submitted %d admitted %d shed %d rejected %d | solved %d degraded %d failed %d cancelled %d | hedge-wins %d breaker trips/probes/recoveries %d/%d/%d\n",
+			c.Submitted, c.Admitted, c.Shed, c.RejectedDraining,
+			c.Solved, c.Degraded, c.Failed, c.Cancelled,
+			c.HedgeWins, c.BreakerTrips, c.BreakerProbes, c.BreakerRecoveries)
+	}
+	os.Exit(code)
+}
+
+// serveTCP accepts connections until SIGINT/SIGTERM, each speaking the same
+// line protocol as stdin mode.
+func serveTCP(srv *server.Server, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telamallocd: %w", err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var wg sync.WaitGroup
+	go func() {
+		<-sig
+		ln.Close() // unblocks Accept; in-flight connections finish their requests
+	}()
+	fmt.Fprintf(os.Stderr, "telamallocd: listening on %s\n", ln.Addr())
+	for {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			wg.Wait()
+			return nil
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			serveStream(srv, conn, conn)
+		}()
+	}
+}
+
+// serveStream answers line-delimited JSON requests from r on w until EOF.
+// Requests run concurrently through the server (which is where admission
+// control lives); a mutex serialises report lines.
+func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // traces can carry many buffers
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	emit := func(resp wireResponse) {
+		line, err := json.Marshal(resp)
+		if err != nil {
+			line = []byte(`{"outcome":"failed","error":"report marshal failure"}`)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "%s\n", line)
+	}
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var req wireRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			emit(wireResponse{Outcome: "rejected", Error: fmt.Sprintf("bad request line: %v", err)})
+			continue
+		}
+		wg.Add(1)
+		go func(req wireRequest) {
+			defer wg.Done()
+			emit(handle(srv, req))
+		}(req)
+	}
+	if err := sc.Err(); err != nil {
+		emit(wireResponse{Outcome: "rejected", Error: fmt.Sprintf("read: %v", err)})
+	}
+	wg.Wait()
+}
+
+// handle runs one request through the service and maps the terminal outcome
+// to the wire schema.
+func handle(srv *server.Server, wreq wireRequest) wireResponse {
+	p := server.Problem{Memory: wreq.Memory, Name: wreq.Name}
+	for _, b := range wreq.Buffers {
+		p.Buffers = append(p.Buffers, telamalloc.Buffer{Start: b.Start, End: b.End, Size: b.Size, Align: b.Align})
+	}
+	resp, err := srv.Submit(context.Background(), server.Request{
+		Problem:  p,
+		MaxSteps: wreq.MaxSteps,
+		Timeout:  time.Duration(wreq.TimeoutMS) * time.Millisecond,
+	})
+	out := wireResponse{ID: wreq.ID}
+	var overload *server.OverloadError
+	switch {
+	case errors.As(err, &overload):
+		out.Outcome = "shed"
+		out.Error = err.Error()
+		out.RetryAfterMS = float64(overload.RetryAfter.Microseconds()) / 1e3
+	case errors.Is(err, server.ErrDraining):
+		out.Outcome = "rejected"
+		out.Error = err.Error()
+	case errors.Is(err, server.ErrCancelled):
+		out.Outcome = "cancelled"
+		out.Error = err.Error()
+	case resp != nil:
+		out.Outcome = string(resp.Outcome)
+		out.Winner = resp.Winner
+		out.Offsets = resp.Offsets
+		out.Spilled = resp.Spilled
+		out.SpillCost = resp.SpillCost
+		out.LowerBound = resp.LowerBound
+		out.Memory = resp.Memory
+		out.SkippedByBreaker = resp.SkippedByBreaker
+		out.HedgeWon = resp.HedgeWon
+		out.QueueWaitMS = float64(resp.QueueWait.Microseconds()) / 1e3
+		out.ElapsedMS = float64(resp.Elapsed.Microseconds()) / 1e3
+		out.Error = resp.Err
+	default:
+		out.Outcome = "failed"
+		if err != nil {
+			out.Error = err.Error()
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"telamalloc/internal/server"
+)
+
+// decodeReports parses every line serveStream wrote and indexes them by id.
+func decodeReports(t *testing.T, out *bytes.Buffer) map[string]wireResponse {
+	t.Helper()
+	byID := map[string]wireResponse{}
+	sc := bufio.NewScanner(bytes.NewReader(out.Bytes()))
+	for sc.Scan() {
+		var resp wireResponse
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("unparseable report line %q: %v", sc.Text(), err)
+		}
+		byID[resp.ID] = resp
+	}
+	return byID
+}
+
+func TestServeStreamOutcomes(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 8, MaxSteps: 200000})
+	defer srv.Close()
+
+	in := strings.Join([]string{
+		// Two non-overlapping 4-byte buffers in 8 bytes: trivially solvable.
+		`{"id":"solve","memory":8,"buffers":[{"start":0,"end":4,"size":4},{"start":4,"end":8,"size":4}]}`,
+		// Three concurrent 4-byte buffers in 8 bytes: provably infeasible,
+		// served degraded via spill.
+		`{"id":"spill","memory":8,"buffers":[{"start":0,"end":4,"size":4},{"start":0,"end":4,"size":4},{"start":0,"end":4,"size":4}]}`,
+		// Memory 0 with a buffer: invalid problem, structured failure.
+		`{"id":"bad-problem","memory":0,"buffers":[{"start":0,"end":4,"size":4}]}`,
+		``, // blank lines are skipped, not answered
+		`this is not json`,
+	}, "\n") + "\n"
+
+	var out bytes.Buffer
+	serveStream(srv, strings.NewReader(in), &out)
+	byID := decodeReports(t, &out)
+	if len(byID) != 4 {
+		t.Fatalf("got %d reports (%v), want 4", len(byID), byID)
+	}
+
+	solve := byID["solve"]
+	if solve.Outcome != "solved" || solve.Winner == "" {
+		t.Errorf("solve report: %+v, want outcome solved with a winner", solve)
+	}
+	if len(solve.Offsets) != 2 || solve.Error != "" {
+		t.Errorf("solve report carries offsets %v err %q", solve.Offsets, solve.Error)
+	}
+
+	spill := byID["spill"]
+	if spill.Outcome != "degraded" || len(spill.Spilled) == 0 || spill.SpillCost <= 0 {
+		t.Errorf("spill report: %+v, want degraded with spilled buffers", spill)
+	}
+	if spill.LowerBound <= spill.Memory {
+		t.Errorf("degraded report must carry infeasibility evidence, got lower bound %d vs memory %d",
+			spill.LowerBound, spill.Memory)
+	}
+
+	bad := byID["bad-problem"]
+	if bad.Outcome != "failed" || bad.Error == "" {
+		t.Errorf("bad-problem report: %+v, want failed with an error", bad)
+	}
+
+	// The non-JSON line has no id; it lands under the empty key.
+	garbage := byID[""]
+	if garbage.Outcome != "rejected" || !strings.Contains(garbage.Error, "bad request line") {
+		t.Errorf("garbage line report: %+v, want rejected", garbage)
+	}
+}
+
+func TestServeStreamRequestBudget(t *testing.T) {
+	srv := server.New(server.Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+
+	// A hard instance with a 1ms pot: the pipeline must come back with a
+	// bounded budget verdict, not hang the stream.
+	var lines []string
+	var bufs []string
+	for i := 0; i < 30; i++ {
+		bufs = append(bufs, `{"start":0,"end":10,"size":7}`)
+	}
+	lines = append(lines,
+		`{"id":"tight","memory":64,"timeout_ms":1,"buffers":[`+strings.Join(bufs, ",")+`]}`)
+	var out bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		serveStream(srv, strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveStream did not finish: request budget was not enforced")
+	}
+	byID := decodeReports(t, &out)
+	tight := byID["tight"]
+	// Either verdict is a legitimate bounded answer; hanging is the bug.
+	if tight.Outcome != "degraded" && tight.Outcome != "failed" {
+		t.Errorf("tight report: %+v, want a bounded degraded/failed verdict", tight)
+	}
+}
+
+func TestHandleShedReport(t *testing.T) {
+	// Park the only worker via the dequeue point so the queue fills, then
+	// check the shed report shape (outcome + retry-after hint).
+	gate := make(chan struct{})
+	srv := server.New(server.Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Hook: func(point string) bool {
+			if point == "server:dequeue" {
+				<-gate
+			}
+			return false
+		},
+	})
+	// Cleanups run LIFO: the gate must open before Close drains the parked
+	// worker, so register Close first.
+	t.Cleanup(func() { srv.Close() })
+	t.Cleanup(func() { close(gate) })
+
+	// One submission parks in the worker and one sits in the queue; the
+	// other eight must shed immediately.
+	const submissions = 10
+	results := make(chan wireResponse, submissions)
+	for i := 0; i < submissions; i++ {
+		go func(i int) {
+			results <- handle(srv, wireRequest{
+				ID:      fmt.Sprintf("r%d", i),
+				Memory:  8,
+				Buffers: []wireBuffer{{Start: 0, End: 4, Size: 4}},
+			})
+		}(i)
+	}
+	sawShed := false
+	timeout := time.After(10 * time.Second)
+	for got := 0; got < submissions-2 && !sawShed; got++ {
+		select {
+		case resp := <-results:
+			if resp.Outcome != "shed" {
+				continue
+			}
+			sawShed = true
+			if resp.RetryAfterMS <= 0 {
+				t.Errorf("shed report missing retry-after hint: %+v", resp)
+			}
+			if resp.Error == "" {
+				t.Errorf("shed report missing error text: %+v", resp)
+			}
+		case <-timeout:
+			t.Fatal("shed submissions did not return promptly; shedding must not wait on workers")
+		}
+	}
+	if !sawShed {
+		t.Fatal("queue of depth 1 with a parked worker never shed")
+	}
+}

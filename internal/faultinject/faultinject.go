@@ -28,6 +28,37 @@ import (
 	"time"
 )
 
+// Named decision points, beyond the solver's per-subproblem "group<i>"
+// labels. The pipeline announces every stage twice — at entry, before the
+// stage's allocator runs, and at exit, after it returned but before its
+// verdict is recorded — so faults can be armed at the exact boundary where
+// production code hands control between components. The serving layer
+// (internal/server) announces its queue and lifecycle transitions the same
+// way. A panic at any of these points must be contained by the layer that
+// owns the point; a stall models a wedged component; a starve at
+// PointServerAdmit forces a load-shed.
+const (
+	// PointServerAdmit fires in Submit before a request is enqueued.
+	// Starve at this point forces the request to be shed.
+	PointServerAdmit = "server:admit"
+	// PointServerDequeue fires when a worker picks a request off the queue.
+	PointServerDequeue = "server:dequeue"
+	// PointServerHedge fires when a hedge attempt starts.
+	PointServerHedge = "server:hedge"
+	// PointServerDrain fires once when a drain begins.
+	PointServerDrain = "server:drain"
+)
+
+// StageEntry returns the hook label announced when a pipeline stage is
+// entered, e.g. "stage:search".
+func StageEntry(stage string) string { return "stage:" + stage }
+
+// StageExit returns the hook label announced after a pipeline stage's
+// allocator returned, inside the stage's containment boundary — a panic
+// here discards the stage's result and fails the stage, exactly like a
+// crash while persisting its verdict would.
+func StageExit(stage string) string { return "stage:" + stage + ":exit" }
+
 // Kind is the fault class to inject.
 type Kind int
 

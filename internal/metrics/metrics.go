@@ -32,15 +32,15 @@ type Report struct {
 
 // Compute builds the report for a complete solution of p.
 func Compute(p *buffers.Problem, sol *buffers.Solution) Report {
+	prof := buffers.Contention(p)
 	r := Report{
 		Peak:           sol.PeakUsage(p),
-		ContentionPeak: buffers.Contention(p).Peak(),
+		ContentionPeak: prof.Peak(),
 	}
 	r.Headroom = p.Memory - r.Peak
 	if r.Peak > 0 {
 		r.PackingEfficiency = float64(r.ContentionPeak) / float64(r.Peak)
 	}
-	prof := buffers.Contention(p)
 	var weighted float64
 	var span int64
 	for _, st := range prof.Steps {

@@ -77,6 +77,24 @@ func TestComputeDetectsWaste(t *testing.T) {
 	}
 }
 
+// BenchmarkCompute guards the single-profile fix: Compute used to build the
+// contention profile twice (an O(n log n) sweep each time), which showed up
+// in per-request serving cost now that internal/server reports on every
+// allocation.
+func BenchmarkCompute(b *testing.B) {
+	p := workload.GenFPN(1)
+	p.Memory = buffers.Contention(p).Peak() * 2
+	res := core.Solve(p, core.Config{MaxSteps: 300000})
+	if res.Status != telamon.Solved {
+		b.Fatal("unsolved")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(p, res.Solution)
+	}
+}
+
 func TestComputeOnRealModel(t *testing.T) {
 	p := workload.GenFPN(1)
 	p.Memory = buffers.Contention(p).Peak() * 110 / 100

@@ -1,0 +1,78 @@
+package server
+
+import "sync/atomic"
+
+// counters aggregates service-level telemetry. All fields are updated with
+// atomics; Snapshot reads them without stopping the world, so a snapshot
+// taken while requests are in flight is internally consistent only once the
+// server has drained.
+type counters struct {
+	submitted        atomic.Int64
+	admitted         atomic.Int64
+	shed             atomic.Int64
+	rejectedDraining atomic.Int64
+	solved           atomic.Int64
+	degraded         atomic.Int64
+	failed           atomic.Int64
+	cancelled        atomic.Int64
+	hedgeWins        atomic.Int64
+	breakerTrips     atomic.Int64
+	breakerProbes    atomic.Int64
+	breakerRecovered atomic.Int64
+	containedPanics  atomic.Int64
+	forceCancelled   atomic.Int64
+}
+
+// Counters is a point-in-time snapshot of the service counters.
+type Counters struct {
+	// Submitted counts every Submit call.
+	Submitted int64
+	// Admitted counts requests that entered the queue.
+	Admitted int64
+	// Shed counts requests rejected by admission control (ErrOverloaded).
+	Shed int64
+	// RejectedDraining counts requests rejected after drain began.
+	RejectedDraining int64
+	// Solved / Degraded / Failed count pipeline verdicts delivered to
+	// callers.
+	Solved   int64
+	Degraded int64
+	Failed   int64
+	// Cancelled counts requests whose caller's context ended first.
+	Cancelled int64
+	// HedgeWins counts responses delivered by the hedge before the ladder.
+	HedgeWins int64
+	// BreakerTrips / BreakerProbes / BreakerRecoveries count circuit
+	// breaker transitions: closed→open, half-open probe admissions, and
+	// half-open→closed recoveries.
+	BreakerTrips      int64
+	BreakerProbes     int64
+	BreakerRecoveries int64
+	// ContainedPanics counts panics recovered at a server boundary (the
+	// pipeline contains its own; those surface as Failed, not here).
+	ContainedPanics int64
+	// ForceCancelled counts in-flight requests cancelled by a drain whose
+	// deadline expired.
+	ForceCancelled int64
+}
+
+// Snapshot returns the current counter values.
+func (s *Server) Snapshot() Counters {
+	c := &s.counters
+	return Counters{
+		Submitted:         c.submitted.Load(),
+		Admitted:          c.admitted.Load(),
+		Shed:              c.shed.Load(),
+		RejectedDraining:  c.rejectedDraining.Load(),
+		Solved:            c.solved.Load(),
+		Degraded:          c.degraded.Load(),
+		Failed:            c.failed.Load(),
+		Cancelled:         c.cancelled.Load(),
+		HedgeWins:         c.hedgeWins.Load(),
+		BreakerTrips:      c.breakerTrips.Load(),
+		BreakerProbes:     c.breakerProbes.Load(),
+		BreakerRecoveries: c.breakerRecovered.Load(),
+		ContainedPanics:   c.containedPanics.Load(),
+		ForceCancelled:    c.forceCancelled.Load(),
+	}
+}

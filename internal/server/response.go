@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Outcome is the terminal verdict of a request that reached the pipeline.
+// Requests that never reach it terminate through Submit's error instead:
+// shed (ErrOverloaded), rejected while draining (ErrDraining), or cancelled
+// (ErrCancelled). Every submitted request gets exactly one of these seven
+// terminal outcomes.
+type Outcome string
+
+const (
+	// OutcomeSolved is a full packing within the memory limit.
+	OutcomeSolved Outcome = "solved"
+	// OutcomeDegraded is a served-but-spilled packing: some buffers were
+	// evicted off-chip (offset -1) so the rest fits.
+	OutcomeDegraded Outcome = "degraded"
+	// OutcomeFailed means the pipeline ran to a structured failure; the
+	// Response carries the lower-bound evidence and Submit's error wraps
+	// the pipeline sentinel.
+	OutcomeFailed Outcome = "failed"
+)
+
+// Errors returned by Submit for requests that never reach a pipeline
+// verdict.
+var (
+	// ErrOverloaded is wrapped by the *OverloadError Submit returns when
+	// admission control sheds the request.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrDraining rejects requests submitted after Drain/Close began.
+	ErrDraining = errors.New("server: draining, not admitting requests")
+	// ErrCancelled reports that the caller's context ended before the
+	// request reached a verdict; any in-flight work was cancelled.
+	ErrCancelled = errors.New("server: request cancelled")
+	// ErrDrainTimeout is returned by Drain when in-flight work had to be
+	// force-cancelled because the drain deadline expired.
+	ErrDrainTimeout = errors.New("server: drain deadline exceeded, in-flight work cancelled")
+)
+
+// OverloadError is the typed load-shed error: the queue was full (or
+// admission was starved by a fault), and RetryAfter estimates when capacity
+// will free up — queue depth × observed request latency / workers.
+type OverloadError struct {
+	// QueueDepth is the queue occupancy at shed time.
+	QueueDepth int
+	// RetryAfter is the backoff hint. It is a floor, not a guarantee.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: overloaded (queue depth %d), retry after %v", e.QueueDepth, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) work.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// Request is one allocation request submitted to the server.
+type Request struct {
+	// Problem is the allocation problem, in the public schema.
+	Problem Problem
+	// MaxSteps overrides the server's per-request step pot when > 0.
+	MaxSteps int64
+	// Timeout overrides the server's per-request wall budget when > 0 and
+	// smaller. The budget is measured from Submit — queue wait spends it —
+	// so tail latency stays bounded under load.
+	Timeout time.Duration
+}
+
+// Response is the structured per-request report.
+type Response struct {
+	// Outcome is the terminal verdict.
+	Outcome Outcome
+	// Winner is the pipeline stage that produced the packing ("" on
+	// failure). Hedge wins report the heuristic's stage name — the same
+	// name the full ladder would have reported, which is what keeps
+	// results byte-identical with hedging on and off.
+	Winner string
+	// Offsets is the packing (spilled buffers carry -1). Nil on failure.
+	Offsets []int64
+	// Spilled lists evicted buffer indices for degraded outcomes.
+	Spilled []int
+	// SpillCost is the summed weight of evicted buffers.
+	SpillCost int64
+	// LowerBound and Memory carry the feasibility evidence: LowerBound >
+	// Memory proves no full packing exists.
+	LowerBound int64
+	Memory     int64
+	// SkippedByBreaker lists stages the per-stage circuit breaker removed
+	// from this request's ladder.
+	SkippedByBreaker []string
+	// Err is the terminal error string for OutcomeFailed ("" otherwise).
+	Err string
+
+	// HedgeWon reports that the hedge delivered this response before the
+	// full ladder. Timing-dependent, hence excluded from CanonicalJSON.
+	HedgeWon bool
+	// QueueWait is time spent queued before a worker picked the request up.
+	QueueWait time.Duration
+	// Elapsed is service time (dequeue to verdict), excluding queue wait.
+	Elapsed time.Duration
+}
+
+// canonicalResponse is the deterministic subset of Response: everything a
+// caller can act on, nothing that depends on timing or scheduling.
+type canonicalResponse struct {
+	Outcome          Outcome  `json:"outcome"`
+	Winner           string   `json:"winner,omitempty"`
+	Offsets          []int64  `json:"offsets,omitempty"`
+	Spilled          []int    `json:"spilled,omitempty"`
+	SpillCost        int64    `json:"spill_cost,omitempty"`
+	LowerBound       int64    `json:"lower_bound"`
+	Memory           int64    `json:"memory"`
+	SkippedByBreaker []string `json:"skipped_by_breaker,omitempty"`
+	Err              string   `json:"error,omitempty"`
+}
+
+// CanonicalJSON serialises the scheduling-invariant part of the response.
+// For a fixed request against a fresh server, these bytes are identical
+// with hedging on and off, at every parallelism level — the determinism
+// contract the soak suite asserts.
+func (r *Response) CanonicalJSON() []byte {
+	b, err := json.Marshal(canonicalResponse{
+		Outcome:          r.Outcome,
+		Winner:           r.Winner,
+		Offsets:          r.Offsets,
+		Spilled:          r.Spilled,
+		SpillCost:        r.SpillCost,
+		LowerBound:       r.LowerBound,
+		Memory:           r.Memory,
+		SkippedByBreaker: r.SkippedByBreaker,
+		Err:              r.Err,
+	})
+	if err != nil {
+		// Unreachable: the struct is marshal-safe by construction.
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,591 @@
+// Package server is the long-lived allocation service around the public
+// escalation pipeline: the serving harness production deployments put in
+// front of the allocator when many clients hit it at model-load time
+// (paper §2, §6.1). It adds the discipline the one-shot API lacks:
+//
+//   - admission control: a bounded queue; when it is full the request is
+//     shed immediately with a typed *OverloadError carrying a retry-after
+//     hint derived from queue depth × observed request latency, so load
+//     sheds in O(1) instead of queueing without bound;
+//   - per-request deadlines: one wall-clock pot per request, measured from
+//     Submit so queue wait spends it, carved across pipeline stages by the
+//     pipeline's share logic;
+//   - hedged solving: a cheap heuristic hedge (greedy, then best-fit)
+//     races the full ladder; the first valid packing is served and the
+//     loser is cancelled through the context plumbing. Because the hedge
+//     mirrors the ladder's own deterministic prefix, responses are
+//     byte-identical (CanonicalJSON) with hedging on and off;
+//   - per-stage circuit breakers: a stage that repeatedly fails with
+//     ErrInternal (or times out, when configured) is skipped for a
+//     cooldown window and re-admitted through half-open probes;
+//   - graceful drain: Drain stops admitting, lets in-flight work finish,
+//     and force-cancels whatever remains when the drain deadline expires.
+//
+// Every submitted request reaches exactly one terminal outcome: solved,
+// degraded, failed, shed, rejected-draining, or cancelled. No panic in a
+// stage, a hook, or the server's own plumbing escapes Submit.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"telamalloc"
+	"telamalloc/internal/faultinject"
+	"telamalloc/internal/stats"
+)
+
+// Problem aliases the public problem type so daemon code needs only this
+// package.
+type Problem = telamalloc.Problem
+
+// pipelineStages is the full ladder the server admits stages from, in
+// escalation order.
+var pipelineStages = []string{
+	telamalloc.StageGreedy,
+	telamalloc.StageBestFit,
+	telamalloc.StageSearch,
+	telamalloc.StageSpill,
+}
+
+// Config tunes the server. The zero value is usable: GOMAXPROCS workers, a
+// 64-deep queue, no per-request budget, hedging off, breakers at 3
+// failures / 5s cooldown.
+type Config struct {
+	// Workers is the number of concurrent pipeline executions (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). Submit sheds
+	// instead of blocking when it is full.
+	QueueDepth int
+	// RequestTimeout is the default per-request wall-clock pot, measured
+	// from Submit (0 = none). Request.Timeout can only shrink it.
+	RequestTimeout time.Duration
+	// MaxSteps is the default per-request search step pot (0 = unlimited).
+	MaxSteps int64
+	// Parallelism is forwarded to the allocator (0 = GOMAXPROCS).
+	Parallelism int
+	// Hedge races a greedy/best-fit hedge against the full ladder.
+	Hedge bool
+	// Breaker tunes the per-stage circuit breakers.
+	Breaker BreakerConfig
+	// DrainTimeout is Close's drain deadline (default 5s).
+	DrainTimeout time.Duration
+	// Hook is the test-only fault-injection hook, threaded through the
+	// server's own decision points (server:admit, server:dequeue,
+	// server:hedge, server:drain) and into the pipeline's stage and
+	// solver points. Must be nil in production configurations.
+	Hook func(point string) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// Server is the long-lived allocation service. Build with New; it is safe
+// for concurrent use by any number of clients.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	admitMu  sync.RWMutex // guards draining vs. enqueue (see Submit)
+	draining bool
+	closeQ   sync.Once
+
+	workerWG sync.WaitGroup // worker loops
+	bgWG     sync.WaitGroup // hedge/ladder goroutines, may outlive delivery
+
+	forceCtx    context.Context // cancelled to force-cancel in-flight work
+	forceCancel context.CancelFunc
+
+	breakers map[string]*breaker
+	latency  *stats.EWMA
+	counters counters
+}
+
+// job is one admitted request and its delivery state.
+type job struct {
+	req       Request
+	ctx       context.Context
+	cancel    context.CancelFunc
+	stop      func() bool // deregisters the force-cancel AfterFunc
+	submitted time.Time
+	budget    time.Duration // effective wall pot (0 = none)
+
+	settled atomic.Bool
+	done    chan struct{}
+	resp    *Response
+	err     error
+}
+
+// settle claims the right to deliver the job's terminal outcome. Exactly
+// one of the worker and the Submit-side cancellation path wins.
+func (j *job) settle() bool { return j.settled.CompareAndSwap(false, true) }
+
+// New builds and starts the server. Stop it with Drain or Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		breakers: make(map[string]*breaker, len(pipelineStages)),
+		latency:  stats.NewEWMA(0.2),
+	}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	for _, stage := range pipelineStages {
+		s.breakers[stage] = newBreaker(cfg.Breaker)
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit runs one allocation request through the service and blocks until
+// its terminal outcome. A non-nil Response is returned whenever the
+// pipeline reached a verdict — including structured failures, where err
+// additionally wraps the pipeline sentinel. A nil Response means the
+// request never reached the allocator: shed (*OverloadError), rejected
+// while draining (ErrDraining), or cancelled (ErrCancelled).
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.counters.submitted.Add(1)
+
+	starve, herr := s.hookPoint(faultinject.PointServerAdmit)
+	if herr != nil {
+		s.counters.failed.Add(1)
+		return nil, herr
+	}
+	if starve {
+		// A starved admission models exhausted admission capacity: shed.
+		return nil, s.shed()
+	}
+
+	budget := s.cfg.RequestTimeout
+	if req.Timeout > 0 && (budget == 0 || req.Timeout < budget) {
+		budget = req.Timeout
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &job{
+		req:       req,
+		ctx:       jctx,
+		cancel:    cancel,
+		stop:      context.AfterFunc(s.forceCtx, cancel),
+		submitted: time.Now(),
+		budget:    budget,
+		done:      make(chan struct{}),
+	}
+
+	// The RLock makes "set draining, then close the queue" safe: Drain
+	// takes the write lock between those steps, so no Submit can be
+	// mid-send when the channel closes.
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		j.stop()
+		cancel()
+		s.counters.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.admitMu.RUnlock()
+		s.counters.admitted.Add(1)
+	default:
+		s.admitMu.RUnlock()
+		j.stop()
+		cancel()
+		return nil, s.shed()
+	}
+
+	select {
+	case <-j.done:
+		return j.resp, j.err
+	case <-ctx.Done():
+		if j.settle() {
+			cancel() // abort queued or in-flight work
+			s.counters.cancelled.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrCancelled, context.Cause(ctx))
+		}
+		// The worker delivered first; its verdict stands.
+		<-j.done
+		return j.resp, j.err
+	}
+}
+
+// shed records a load-shed and prices the retry-after hint.
+func (s *Server) shed() error {
+	depth := len(s.queue)
+	s.counters.shed.Add(1)
+	return &OverloadError{QueueDepth: depth, RetryAfter: s.retryAfter(depth)}
+}
+
+// retryAfter estimates when a slot frees up: the work ahead of the caller
+// (depth+1 requests) divided across the workers, at the observed per-request
+// service latency. Floored at 1ms so callers never busy-loop on a cold
+// estimator.
+func (s *Server) retryAfter(depth int) time.Duration {
+	lat := time.Duration(s.latency.Value())
+	if lat < time.Millisecond {
+		lat = time.Millisecond
+	}
+	ra := time.Duration(depth+1) * lat / time.Duration(s.cfg.Workers)
+	if ra < time.Millisecond {
+		ra = time.Millisecond
+	}
+	return ra
+}
+
+// hookPoint announces a server decision point to the fault hook with the
+// server's own containment: a panicking hook surfaces as ErrInternal, never
+// as a crash.
+func (s *Server) hookPoint(point string) (starve bool, err error) {
+	if s.cfg.Hook == nil {
+		return false, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.containedPanics.Add(1)
+			starve = false
+			err = fmt.Errorf("%w: panic at %s: %v", telamalloc.ErrInternal, point, r)
+		}
+	}()
+	return s.cfg.Hook(point), nil
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.serveJob(j)
+	}
+}
+
+// serveJob runs one job to its terminal outcome and delivers it.
+func (s *Server) serveJob(j *job) {
+	defer j.stop()
+	defer j.cancel()
+	wait := time.Since(j.submitted)
+	start := time.Now()
+	resp, err := s.runJob(j, wait)
+	elapsed := time.Since(start)
+	s.latency.Observe(float64(elapsed))
+	if resp != nil {
+		resp.QueueWait = wait
+		resp.Elapsed = elapsed
+	}
+	j.resp, j.err = resp, err
+	if j.settle() {
+		switch {
+		case err == nil && resp.Outcome == OutcomeDegraded:
+			s.counters.degraded.Add(1)
+		case err == nil:
+			s.counters.solved.Add(1)
+		case errors.Is(err, ErrCancelled):
+			s.counters.cancelled.Add(1)
+			if s.forceCtx.Err() != nil {
+				s.counters.forceCancelled.Add(1)
+			}
+		default:
+			s.counters.failed.Add(1)
+		}
+	}
+	close(j.done)
+}
+
+// attempt is one arm of the hedged race.
+type attempt struct {
+	main bool // produced by the full ladder
+	miss bool // hedge found nothing; wait for the ladder
+	resp *Response
+	err  error
+}
+
+// runJob executes the pipeline (optionally hedged) for one job. Any panic
+// that slips past the inner boundaries is contained here and reported as a
+// failed outcome.
+func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.containedPanics.Add(1)
+			err = fmt.Errorf("%w: panic in server worker: %v", telamalloc.ErrInternal, r)
+			resp = &Response{Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: err.Error()}
+		}
+	}()
+
+	if s.cfg.Hook != nil {
+		// Starvation has no meaning at dequeue; stalls and panics do, and
+		// a panic here is contained by the deferred recover above.
+		s.cfg.Hook(faultinject.PointServerDequeue)
+	}
+	if cerr := j.ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCancelled, cerr)
+	}
+	var timeout time.Duration
+	if j.budget > 0 {
+		timeout = j.budget - wait
+		if timeout <= 0 {
+			// The pot was spent waiting in line. Answering ErrBudget here —
+			// instead of running a doomed 0-budget pipeline — keeps
+			// shedding latency bounded under sustained overload.
+			err = fmt.Errorf("%w: request budget %v exhausted in queue (waited %v)",
+				telamalloc.ErrBudget, j.budget, wait)
+			return &Response{Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: err.Error()}, err
+		}
+	}
+
+	ladder, skipped, decisions := s.admitStages()
+	ladderCtx, cancelLadder := context.WithCancel(j.ctx)
+	defer cancelLadder()
+	opts := []telamalloc.Option{
+		telamalloc.WithContext(ladderCtx),
+		telamalloc.WithParallelism(s.cfg.Parallelism),
+		telamalloc.WithStages(ladder...),
+	}
+	maxSteps := s.cfg.MaxSteps
+	if j.req.MaxSteps > 0 {
+		maxSteps = j.req.MaxSteps
+	}
+	if maxSteps > 0 {
+		opts = append(opts, telamalloc.WithMaxSteps(maxSteps))
+	}
+	if timeout > 0 {
+		opts = append(opts, telamalloc.WithTimeout(timeout))
+	}
+	if s.cfg.Hook != nil {
+		opts = append(opts, telamalloc.WithFaultHook(s.cfg.Hook))
+	}
+
+	ch := make(chan attempt, 2)
+	s.bgWG.Add(1)
+	go func() {
+		defer s.bgWG.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				s.counters.containedPanics.Add(1)
+				ferr := fmt.Errorf("%w: panic around pipeline: %v", telamalloc.ErrInternal, r)
+				ch <- attempt{main: true, err: ferr, resp: &Response{
+					Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: ferr.Error(),
+				}}
+			}
+		}()
+		res, perr := telamalloc.AllocatePipeline(j.req.Problem, opts...)
+		s.observeBreakers(decisions, res)
+		ch <- attempt{main: true, resp: responseFrom(res, perr, skipped), err: perr}
+	}()
+	hedgePending := s.cfg.Hedge
+	if hedgePending {
+		s.bgWG.Add(1)
+		go func() {
+			defer s.bgWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					s.counters.containedPanics.Add(1)
+					ch <- attempt{miss: true}
+				}
+			}()
+			ch <- s.hedge(j)
+		}()
+	}
+
+	for {
+		a := <-ch
+		switch {
+		case a.miss:
+			hedgePending = false
+			continue
+		case !a.main:
+			// The hedge found a full packing first. Cancel the ladder (the
+			// deferred cancelLadder fires on return) and serve the hedge's
+			// answer — identical bytes to what the ladder's own heuristic
+			// prefix would have produced.
+			s.counters.hedgeWins.Add(1)
+			a.resp.HedgeWon = true
+			a.resp.SkippedByBreaker = skipped
+			return a.resp, nil
+		default:
+			// The full ladder's verdict — win, degradation, or structured
+			// failure — always outranks a pending hedge.
+			if errors.Is(a.err, telamalloc.ErrCancelled) {
+				return nil, fmt.Errorf("%w: %v", ErrCancelled, a.err)
+			}
+			return a.resp, a.err
+		}
+	}
+}
+
+// hedge runs the cheap deterministic prefix of the ladder: greedy, then
+// best-fit. It reports a win only on a full packing, which is exactly when
+// the ladder's own first stages would have won with the same offsets.
+func (s *Server) hedge(j *job) attempt {
+	if s.cfg.Hook != nil {
+		s.cfg.Hook(faultinject.PointServerHedge) // panic contained by caller
+	}
+	p := j.req.Problem
+	if j.ctx.Err() != nil {
+		return attempt{miss: true}
+	}
+	if sol, err := telamalloc.AllocateGreedy(p); err == nil {
+		return attempt{resp: s.hedgeResponse(p, telamalloc.StageGreedy, sol)}
+	}
+	if j.ctx.Err() != nil {
+		return attempt{miss: true}
+	}
+	if sol, err := telamalloc.AllocateBestFit(p); err == nil {
+		return attempt{resp: s.hedgeResponse(p, telamalloc.StageBestFit, sol)}
+	}
+	return attempt{miss: true}
+}
+
+func (s *Server) hedgeResponse(p Problem, winner string, sol telamalloc.Solution) *Response {
+	return &Response{
+		Outcome:    OutcomeSolved,
+		Winner:     winner,
+		Offsets:    sol.Offsets,
+		LowerBound: telamalloc.MinMemoryLowerBound(p),
+		Memory:     p.Memory,
+	}
+}
+
+// responseFrom maps a pipeline result to the service response.
+func responseFrom(res telamalloc.PipelineResult, perr error, skipped []string) *Response {
+	r := &Response{
+		LowerBound:       res.LowerBound,
+		Memory:           res.Memory,
+		SkippedByBreaker: skipped,
+	}
+	if perr != nil {
+		r.Outcome = OutcomeFailed
+		r.Err = perr.Error()
+		return r
+	}
+	r.Winner = res.Winner
+	r.Offsets = res.Solution.Offsets
+	if res.Degraded {
+		r.Outcome = OutcomeDegraded
+		r.Spilled = res.Spill.Spilled
+		r.SpillCost = res.Spill.SpillCost
+	} else {
+		r.Outcome = OutcomeSolved
+	}
+	return r
+}
+
+// admitStages consults every stage's breaker and builds this request's
+// ladder. If every breaker is open the full ladder runs anyway — running
+// nothing guarantees failure, so total-open has nothing left to protect —
+// with no breaker observations recorded for the bypass.
+func (s *Server) admitStages() (ladder, skipped []string, decisions map[string]decision) {
+	now := time.Now()
+	decisions = make(map[string]decision, len(pipelineStages))
+	for _, stage := range pipelineStages {
+		d := s.breakers[stage].admit(now)
+		if d.probe {
+			s.counters.breakerProbes.Add(1)
+		}
+		decisions[stage] = d
+		if d.include {
+			ladder = append(ladder, stage)
+		} else {
+			skipped = append(skipped, stage)
+		}
+	}
+	if len(ladder) == 0 {
+		return append([]string(nil), pipelineStages...), nil, decisions
+	}
+	return ladder, skipped, decisions
+}
+
+// observeBreakers settles each stage's breaker decision against the
+// pipeline's per-stage reports.
+func (s *Server) observeBreakers(decisions map[string]decision, res telamalloc.PipelineResult) {
+	now := time.Now()
+	reports := make(map[string]telamalloc.StageReport, len(res.Stages))
+	for _, rep := range res.Stages {
+		reports[rep.Stage] = rep
+	}
+	for stage, d := range decisions {
+		rep, ok := reports[stage]
+		ran := ok && !rep.Skipped
+		failed := false
+		if ran && rep.Err != nil {
+			switch {
+			case errors.Is(rep.Err, telamalloc.ErrInternal):
+				failed = true
+			case s.cfg.Breaker.SlowStage > 0 &&
+				errors.Is(rep.Err, telamalloc.ErrBudget) &&
+				rep.Elapsed >= s.cfg.Breaker.SlowStage:
+				failed = true
+			}
+		}
+		tripped, recovered := s.breakers[stage].observe(d, ran, failed, now)
+		if tripped {
+			s.counters.breakerTrips.Add(1)
+		}
+		if recovered {
+			s.counters.breakerRecovered.Add(1)
+		}
+	}
+}
+
+// Drain stops admitting requests, waits for queued and in-flight work to
+// finish, and — if ctx expires first — force-cancels whatever remains and
+// waits for the cancellations to land (bounded by the solver's cooperative
+// polling stride). It returns nil on a clean drain and ErrDrainTimeout when
+// force-cancellation was needed.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+	if !already {
+		if _, err := s.hookPoint(faultinject.PointServerDrain); err != nil {
+			// A crashing drain hook must not block shutdown; it is
+			// already counted as a contained panic.
+			_ = err
+		}
+		s.closeQ.Do(func() { close(s.queue) })
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		s.bgWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceCancel()
+		<-done
+		return fmt.Errorf("%w (%v)", ErrDrainTimeout, context.Cause(ctx))
+	}
+}
+
+// Close drains with the configured DrainTimeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// QueueDepth reports current queue occupancy (diagnostic).
+func (s *Server) QueueDepth() int { return len(s.queue) }

@@ -1,11 +1,53 @@
 // Package stats provides the small statistical helpers the experiment
-// harness uses to summarise results (means, geometric means, percentiles).
+// harness uses to summarise results (means, geometric means, percentiles)
+// and the streaming estimators the serving layer feeds with per-request
+// observations.
 package stats
 
 import (
 	"math"
 	"sort"
+	"sync"
 )
+
+// EWMA is a thread-safe exponentially weighted moving average. The serving
+// layer uses it to track observed request latency, which prices the
+// retry-after hint attached to load-shed errors. The zero value is unusable;
+// build one with NewEWMA.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA builds an estimator with smoothing factor alpha in (0, 1]: higher
+// alpha weights recent observations more. Out-of-range alphas are clamped.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average. The first sample seeds the
+// average directly, so the estimate is meaningful from the first request on.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seen {
+		e.value, e.seen = x, true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current estimate, or 0 before any observation.
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {

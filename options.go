@@ -72,6 +72,18 @@ func WithCancel(cancel func() bool) Option {
 	return func(c *config) { c.core.Cancel = cancel }
 }
 
+// WithFaultHook installs the test-only fault-injection hook at every named
+// decision point the allocator announces: solver budget checks ("group<i>"),
+// pipeline stage entry/exit ("stage:<name>", "stage:<name>:exit"). The hook
+// may stall, panic, or return true to starve the announcing search's budget;
+// panics are contained at the owning boundary and surface as ErrInternal.
+// See internal/faultinject. Must not be set in production configurations —
+// it exists so harnesses (and the serving layer's soak tests) can prove the
+// containment contract rather than assume it.
+func WithFaultHook(hook func(point string) bool) Option {
+	return func(c *config) { c.core.Hook = hook }
+}
+
 // WithSkylinePlacement selects the simple skyline placement strategy
 // (Figure 8a) instead of solver-guided placement. Mainly useful for
 // experiments; solver-guided placement is strictly more capable.

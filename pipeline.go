@@ -7,6 +7,7 @@ import (
 
 	"telamalloc/internal/buffers"
 	"telamalloc/internal/core"
+	"telamalloc/internal/faultinject"
 	"telamalloc/internal/heuristics"
 	"telamalloc/internal/spill"
 	"telamalloc/internal/telamon"
@@ -338,9 +339,16 @@ func (lr *ladderRun) runStage(stage string) (rep StageReport, sol *buffers.Solut
 			}
 		}()
 		if hook := lr.c.core.Hook; hook != nil {
-			hook("stage:" + stage)
+			hook(faultinject.StageEntry(stage))
 		}
 		sol, plan, rep.Stats, rep.Err = lr.execute(stage, steps, deadline)
+		if hook := lr.c.core.Hook; hook != nil {
+			// The exit point sits inside the containment boundary on
+			// purpose: a crash while the stage's verdict is being handed
+			// back discards the result and fails the stage, so the ladder
+			// escalates instead of trusting a half-delivered answer.
+			hook(faultinject.StageExit(stage))
+		}
 	}()
 	rep.Elapsed = time.Since(start)
 	if rep.Stats.Steps > 0 && lr.remainingSteps > 0 {
