@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint bench fuzz faultrace soak
+.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak
 
 ## ci: the full verification gate — lint, build, the test suite under the
 ## race detector (the parallel subproblem solver makes -race mandatory),
 ## the fault-injection suite re-run under -race, the serving-layer soak,
-## and a fuzz smoke of the public API.
-ci: lint build race faultrace soak fuzz
+## the solution-cache soak, and a fuzz smoke of the public API.
+ci: lint build race faultrace soak cachesoak fuzz
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,14 @@ lint: vet
 soak:
 	$(GO) test -race -count=1 -run 'Soak|Drain|Breaker|Shed|Hedge|Submit|Admit|Queue|ServeStream|Handle' ./internal/server ./cmd/telamallocd
 
+## cachesoak: the reuse-layer acceptance soak under the race detector —
+## concurrent clients replaying a fixed workload against a hedged server
+## with a small cache: every cached/deduped/hint-replayed response must be
+## byte-identical to the cold solve, and the cache/dedup counters must
+## balance with the terminal-outcome ledger. See DESIGN.md §10.
+cachesoak:
+	$(GO) test -race -count=1 -run TestCacheSoak ./internal/server
+
 ## faultrace: the deterministic fault-injection harness (injected panics,
 ## stalls, budget starvation) under the race detector — the containment
 ## boundaries must hold when workers crash concurrently.
@@ -46,10 +54,12 @@ faultrace:
 
 ## fuzz: short native-fuzzing smoke of the public entry points — no input
 ## may panic, nil error implies a valid packing, every error wraps exactly
-## one public sentinel.
+## one public sentinel — plus the cache-key invariant: fingerprint-equal
+## problems must accept each other's replayed solutions.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzAllocate -fuzztime=10s .
 	$(GO) test -run='^$$' -fuzz=FuzzPipeline -fuzztime=10s .
+	$(GO) test -run='^$$' -fuzz=FuzzFingerprint -fuzztime=10s ./internal/cache
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

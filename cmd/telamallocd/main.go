@@ -83,6 +83,9 @@ type wireResponse struct {
 	Memory           int64    `json:"memory,omitempty"`
 	SkippedByBreaker []string `json:"skipped_by_breaker,omitempty"`
 	HedgeWon         bool     `json:"hedge_won,omitempty"`
+	CacheHit         bool     `json:"cache_hit,omitempty"`
+	Deduped          bool     `json:"deduped,omitempty"`
+	HintReplayed     bool     `json:"hint_replayed,omitempty"`
 	QueueWaitMS      float64  `json:"queue_wait_ms,omitempty"`
 	ElapsedMS        float64  `json:"elapsed_ms,omitempty"`
 	RetryAfterMS     float64  `json:"retry_after_ms,omitempty"`
@@ -102,10 +105,16 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker window before a half-open probe")
 		slowStage    = flag.Duration("slow-stage", 0, "also trip a breaker when a stage times out after this long (0 = off)")
 		drainTO      = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain deadline on shutdown")
+		cacheSize    = flag.Int("cache-size", 256, "solution cache capacity in entries (0 disables caching)")
+		noDedup      = flag.Bool("no-dedup", false, "disable singleflight deduplication of concurrent identical requests")
 		quiet        = flag.Bool("q", false, "suppress the counters summary on shutdown")
 	)
 	flag.Parse()
 
+	cacheCfg := *cacheSize
+	if cacheCfg <= 0 {
+		cacheCfg = -1 // the server treats 0 as "default"; the flag's 0 means off
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -114,6 +123,8 @@ func main() {
 		Parallelism:    *parallel,
 		Hedge:          *hedge,
 		DrainTimeout:   *drainTO,
+		CacheSize:      cacheCfg,
+		DisableDedup:   *noDedup,
 		Breaker: server.BreakerConfig{
 			Threshold: *brkThreshold,
 			Cooldown:  *brkCooldown,
@@ -136,10 +147,12 @@ func main() {
 	if !*quiet {
 		c := srv.Snapshot()
 		fmt.Fprintf(os.Stderr,
-			"telamallocd: submitted %d admitted %d shed %d rejected %d | solved %d degraded %d failed %d cancelled %d | hedge-wins %d breaker trips/probes/recoveries %d/%d/%d\n",
+			"telamallocd: submitted %d admitted %d shed %d rejected %d | solved %d degraded %d failed %d cancelled %d | hedge-wins %d breaker trips/probes/recoveries %d/%d/%d | cache hits/misses/near %d/%d/%d len %d | dedup-shared %d hint-replays %d\n",
 			c.Submitted, c.Admitted, c.Shed, c.RejectedDraining,
 			c.Solved, c.Degraded, c.Failed, c.Cancelled,
-			c.HedgeWins, c.BreakerTrips, c.BreakerProbes, c.BreakerRecoveries)
+			c.HedgeWins, c.BreakerTrips, c.BreakerProbes, c.BreakerRecoveries,
+			c.CacheHits, c.CacheMisses, c.CacheNearHits, c.CacheLen,
+			c.DedupShared, c.HintReplays)
 	}
 	os.Exit(code)
 }
@@ -248,6 +261,9 @@ func handle(srv *server.Server, wreq wireRequest) wireResponse {
 		out.Memory = resp.Memory
 		out.SkippedByBreaker = resp.SkippedByBreaker
 		out.HedgeWon = resp.HedgeWon
+		out.CacheHit = resp.CacheHit
+		out.Deduped = resp.Deduped
+		out.HintReplayed = resp.HintReplayed
 		out.QueueWaitMS = float64(resp.QueueWait.Microseconds()) / 1e3
 		out.ElapsedMS = float64(resp.Elapsed.Microseconds()) / 1e3
 		out.Error = resp.Err

@@ -118,6 +118,9 @@ func TestHandleShedReport(t *testing.T) {
 	srv := server.New(server.Config{
 		Workers:    1,
 		QueueDepth: 1,
+		// Identical requests on purpose: this test wants the queue to fill,
+		// and singleflight would collapse the flood to one solve.
+		DisableDedup: true,
 		Hook: func(point string) bool {
 			if point == "server:dequeue" {
 				<-gate

@@ -1,0 +1,248 @@
+package cache
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/heuristics"
+)
+
+func prob(mem int64, bufs ...buffers.Buffer) *buffers.Problem {
+	p := &buffers.Problem{Memory: mem, Buffers: bufs}
+	p.Normalize()
+	return p
+}
+
+func TestFingerprintIgnoresOrderNameAndShift(t *testing.T) {
+	base := prob(64,
+		buffers.Buffer{Start: 0, End: 4, Size: 8},
+		buffers.Buffer{Start: 2, End: 6, Size: 16, Align: 4},
+		buffers.Buffer{Start: 5, End: 9, Size: 8},
+	)
+	fpBase, _ := Canonicalize(base)
+
+	reordered := prob(64,
+		buffers.Buffer{Start: 5, End: 9, Size: 8},
+		buffers.Buffer{Start: 0, End: 4, Size: 8},
+		buffers.Buffer{Start: 2, End: 6, Size: 16, Align: 4},
+	)
+	reordered.Name = "same shape, different order and name"
+	if fp, _ := Canonicalize(reordered); fp.Key != fpBase.Key {
+		t.Errorf("reordering buffers changed the fingerprint")
+	}
+
+	shifted := prob(64,
+		buffers.Buffer{Start: 100, End: 104, Size: 8},
+		buffers.Buffer{Start: 102, End: 106, Size: 16, Align: 4},
+		buffers.Buffer{Start: 105, End: 109, Size: 8},
+	)
+	if fp, _ := Canonicalize(shifted); fp.Key != fpBase.Key {
+		t.Errorf("uniform time shift changed the fingerprint")
+	}
+
+	// Align 0 and 1 both mean "unconstrained" and must hash identically.
+	a0 := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8, Align: 0})
+	a1 := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8, Align: 1})
+	fp0, _ := Canonicalize(a0)
+	fp1, _ := Canonicalize(a1)
+	if fp0.Key != fp1.Key {
+		t.Errorf("align 0 and align 1 fingerprint differently")
+	}
+}
+
+func TestFingerprintSeparatesShapeAndCapacity(t *testing.T) {
+	a := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8})
+	b := prob(128, buffers.Buffer{Start: 0, End: 4, Size: 8})
+	fpA, _ := Canonicalize(a)
+	fpB, _ := Canonicalize(b)
+	if fpA.Key == fpB.Key {
+		t.Errorf("different capacities share a full key")
+	}
+	if fpA.ShapeKey != fpB.ShapeKey {
+		t.Errorf("same buffers at different capacities must share a shape key")
+	}
+
+	c := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 9})
+	if fpC, _ := Canonicalize(c); fpC.ShapeKey == fpA.ShapeKey {
+		t.Errorf("different sizes share a shape key")
+	}
+}
+
+func TestFingerprintDistinguishesShapes(t *testing.T) {
+	base := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8}, buffers.Buffer{Start: 1, End: 3, Size: 4})
+	fpBase, _ := Canonicalize(base)
+	variants := []*buffers.Problem{
+		prob(64, buffers.Buffer{Start: 0, End: 5, Size: 8}, buffers.Buffer{Start: 1, End: 3, Size: 4}),           // lifetime
+		prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8, Align: 2}, buffers.Buffer{Start: 1, End: 3, Size: 4}), // align
+		prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8}),                                                      // count
+		// NON-uniform shift: same multiset of lifetimes relative to their own
+		// starts, different overlap structure.
+		prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8}, buffers.Buffer{Start: 10, End: 12, Size: 4}),
+	}
+	for i, v := range variants {
+		if fp, _ := Canonicalize(v); fp.Key == fpBase.Key {
+			t.Errorf("variant %d shares the base fingerprint", i)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	p := prob(1<<20,
+		buffers.Buffer{Start: 3, End: 7, Size: 8},
+		buffers.Buffer{Start: 0, End: 4, Size: 16},
+		buffers.Buffer{Start: 2, End: 6, Size: 8, Align: 4},
+	)
+	sol, peak := heuristics.GreedyContentionUnbounded(p)
+	p.Memory = peak
+	if err := sol.Validate(p); err != nil {
+		t.Fatalf("fixture packing invalid: %v", err)
+	}
+	_, perm := Canonicalize(p)
+	canon := ToCanonical(sol.Offsets, perm)
+	back := Replay(canon, perm)
+	for i := range back {
+		if back[i] != sol.Offsets[i] {
+			t.Fatalf("round trip changed offsets: %v vs %v", back, sol.Offsets)
+		}
+	}
+	if Replay([]int64{1, 2}, perm) != nil {
+		t.Errorf("length-mismatched replay must return nil")
+	}
+}
+
+func TestLRUBoundAndCounters(t *testing.T) {
+	c := New(2)
+	fps := make([]Fingerprint, 3)
+	for i := range fps {
+		p := prob(int64(64+i), buffers.Buffer{Start: 0, End: 4, Size: 8})
+		fps[i], _ = Canonicalize(p)
+		c.Put(fps[i], Entry{Winner: "greedy", Offsets: []int64{0}})
+	}
+	// fps[0] is the LRU victim of inserting fps[2].
+	if _, ok := c.Get(fps[0].Key); ok {
+		t.Errorf("oldest entry survived past the capacity bound")
+	}
+	if _, ok := c.Get(fps[1].Key); !ok {
+		t.Errorf("entry 1 missing")
+	}
+	// Touching fps[1] makes fps[2] the victim of the next insert.
+	c.Put(fps[0], Entry{Winner: "greedy", Offsets: []int64{0}})
+	if _, ok := c.Get(fps[2].Key); ok {
+		t.Errorf("recently-used ordering not respected")
+	}
+	got := c.Counters()
+	want := Counters{Hits: 1, Misses: 2, Insertions: 4, Evictions: 2, Len: 2}
+	if got != want {
+		t.Errorf("counters %+v, want %+v", got, want)
+	}
+	if got.Insertions-got.Evictions != int64(got.Len) {
+		t.Errorf("counter ledger unbalanced: %+v", got)
+	}
+}
+
+func TestGetShapeNearMiss(t *testing.T) {
+	c := New(4)
+	small := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8})
+	big := prob(128, buffers.Buffer{Start: 0, End: 4, Size: 8})
+	fpSmall, _ := Canonicalize(small)
+	fpBig, _ := Canonicalize(big)
+	c.Put(fpSmall, Entry{Winner: "search", Offsets: []int64{0}})
+
+	if _, ok := c.GetShape(fpBig.ShapeKey, fpBig.Key); !ok {
+		t.Fatalf("near-miss lookup failed for a shape-equal entry")
+	}
+	// Looking up the shape of the entry itself must not report a near miss.
+	if _, ok := c.GetShape(fpSmall.ShapeKey, fpSmall.Key); ok {
+		t.Errorf("exact key excluded itself and still near-hit")
+	}
+	c.Drop(fpSmall.Key)
+	if _, ok := c.GetShape(fpBig.ShapeKey, fpBig.Key); ok {
+		t.Errorf("dropped entry still reachable through the shape index")
+	}
+	if n := c.Counters().NearHits; n != 1 {
+		t.Errorf("near hits %d, want 1", n)
+	}
+}
+
+func TestEntriesAreCopied(t *testing.T) {
+	c := New(2)
+	p := prob(64, buffers.Buffer{Start: 0, End: 4, Size: 8})
+	fp, _ := Canonicalize(p)
+	offsets := []int64{0}
+	c.Put(fp, Entry{Winner: "greedy", Offsets: offsets})
+	offsets[0] = 99
+	e, ok := c.Get(fp.Key)
+	if !ok || e.Offsets[0] != 0 {
+		t.Fatalf("cache shares the caller's offset slice: %+v", e)
+	}
+	e.Offsets[0] = 42
+	if e2, _ := c.Get(fp.Key); e2.Offsets[0] != 0 {
+		t.Fatalf("Get hands out the cache's own slice")
+	}
+}
+
+// FuzzFingerprint is the solution-compatibility contract: for any valid
+// problem, a shuffled and time-shifted copy fingerprints identically, and a
+// packing of the original transported through the canonical permutations is
+// a valid packing of the copy.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{}, int16(0), uint32(0))
+	f.Add([]byte{0, 4, 8, 0, 2, 5, 16, 1}, int16(100), uint32(7))
+	f.Add([]byte{3, 1, 1, 2, 3, 1, 1, 2, 3, 1, 1, 2}, int16(-50), uint32(99))
+	f.Add([]byte{0, 10, 200, 3, 9, 10, 200, 3, 0, 1, 7, 0}, int16(1000), uint32(1234567))
+	f.Fuzz(func(t *testing.T, data []byte, shift int16, seed uint32) {
+		// Decode a structurally valid problem: 4 bytes per buffer
+		// (start, duration, size, align code), all clamped positive.
+		aligns := []int64{1, 1, 2, 4, 8, 64}
+		var p buffers.Problem
+		for len(data) >= 4 && len(p.Buffers) < 20 {
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: int64(data[0]),
+				End:   int64(data[0]) + 1 + int64(data[1]),
+				Size:  1 + int64(data[2]),
+				Align: aligns[int(data[3])%len(aligns)],
+			})
+			data = data[4:]
+		}
+		p.Normalize()
+
+		// Shuffled + shifted copy with a different order and name.
+		q := &buffers.Problem{Name: "copy"}
+		q.Buffers = append([]buffers.Buffer(nil), p.Buffers...)
+		rng := seed | 1
+		for i := len(q.Buffers) - 1; i > 0; i-- {
+			rng = rng*1664525 + 1013904223
+			j := int(rng % uint32(i+1))
+			q.Buffers[i], q.Buffers[j] = q.Buffers[j], q.Buffers[i]
+		}
+		for i := range q.Buffers {
+			q.Buffers[i].Start += int64(shift)
+			q.Buffers[i].End += int64(shift)
+		}
+		q.Normalize()
+
+		// Pack p with the greedy heuristic at exactly its peak, so both
+		// problems share a capacity the packing provably fits.
+		sol, peak := heuristics.GreedyContentionUnbounded(&p)
+		if peak < 1 {
+			peak = 1
+		}
+		p.Memory, q.Memory = peak, peak
+
+		fpP, permP := Canonicalize(&p)
+		fpQ, permQ := Canonicalize(q)
+		if fpP.Key != fpQ.Key || fpP.ShapeKey != fpQ.ShapeKey {
+			t.Fatalf("shuffle+shift changed the fingerprint:\n p=%+v\n q=%+v", fpP, fpQ)
+		}
+		if len(p.Buffers) == 0 {
+			return
+		}
+		if err := sol.Validate(&p); err != nil {
+			t.Fatalf("greedy packing invalid at its own peak: %v", err)
+		}
+		replayed := &buffers.Solution{Offsets: Replay(ToCanonical(sol.Offsets, permP), permQ)}
+		if err := replayed.Validate(q); err != nil {
+			t.Fatalf("fingerprint-equal problems are not solution-compatible: %v", err)
+		}
+	})
+}

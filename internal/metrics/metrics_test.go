@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"telamalloc/internal/buffers"
+	"telamalloc/internal/cache"
 	"telamalloc/internal/core"
 	"telamalloc/internal/telamon"
 	"telamalloc/internal/workload"
@@ -114,5 +115,41 @@ func TestComputeOnRealModel(t *testing.T) {
 	}
 	if r.Headroom < 0 {
 		t.Errorf("negative headroom %d", r.Headroom)
+	}
+}
+
+// TestComputeInvariantUnderCanonicalReplay pins the property the reuse
+// layer (internal/cache, DESIGN.md §10) depends on: transporting a
+// solution between two presentations of the same problem — reordered
+// buffers, replayed through the canonical permutation — must not change
+// any packing-quality number. A cached or hint-replayed answer reports the
+// same quality as the cold solve it came from.
+func TestComputeInvariantUnderCanonicalReplay(t *testing.T) {
+	p := workload.MultiComponent(3, 8, 120, 7)
+	res := core.Solve(p, core.Config{MaxSteps: 300000})
+	if res.Status != telamon.Solved {
+		t.Fatal("unsolved fixture")
+	}
+	_, permP := cache.Canonicalize(p)
+
+	// The same problem with its buffers reversed.
+	q := &buffers.Problem{Memory: p.Memory}
+	for i := len(p.Buffers) - 1; i >= 0; i-- {
+		b := p.Buffers[i]
+		q.Buffers = append(q.Buffers, buffers.Buffer{Start: b.Start, End: b.End, Size: b.Size, Align: b.Align})
+	}
+	q.Normalize()
+	fpQ, permQ := cache.Canonicalize(q)
+	if fpP, _ := cache.Canonicalize(p); fpP.Key != fpQ.Key {
+		t.Fatal("fixture drifted: reordered copy fingerprints differently")
+	}
+	replayed := &buffers.Solution{Offsets: cache.Replay(cache.ToCanonical(res.Solution.Offsets, permP), permQ)}
+	if err := replayed.Validate(q); err != nil {
+		t.Fatalf("replayed solution invalid: %v", err)
+	}
+
+	rp, rq := Compute(p, res.Solution), Compute(q, replayed)
+	if rp != rq {
+		t.Errorf("reports diverge under canonical replay:\n p %+v\n q %+v", rp, rq)
 	}
 }

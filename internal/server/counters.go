@@ -21,6 +21,8 @@ type counters struct {
 	breakerRecovered atomic.Int64
 	containedPanics  atomic.Int64
 	forceCancelled   atomic.Int64
+	dedupShared      atomic.Int64
+	hintReplays      atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of the service counters.
@@ -54,12 +56,30 @@ type Counters struct {
 	// ForceCancelled counts in-flight requests cancelled by a drain whose
 	// deadline expired.
 	ForceCancelled int64
+	// DedupShared counts responses shared from a concurrent identical
+	// request's solve (singleflight followers). Each is also counted under
+	// Solved — sharing changes who did the work, not the outcome.
+	DedupShared int64
+	// HintReplays counts pipeline runs settled by replaying a decision
+	// trace instead of searching.
+	HintReplays int64
+	// CacheHits / CacheMisses count solution-cache lookups; CacheNearHits
+	// counts shape-only matches that seeded a hint. CacheInsertions -
+	// CacheEvictions == CacheLen while the server lives. All zero when the
+	// cache is disabled.
+	CacheHits       int64
+	CacheMisses     int64
+	CacheNearHits   int64
+	CacheInsertions int64
+	CacheEvictions  int64
+	CacheLen        int
 }
 
-// Snapshot returns the current counter values.
+// Snapshot returns the current counter values, merging in the solution
+// cache's own telemetry when a cache is configured.
 func (s *Server) Snapshot() Counters {
 	c := &s.counters
-	return Counters{
+	out := Counters{
 		Submitted:         c.submitted.Load(),
 		Admitted:          c.admitted.Load(),
 		Shed:              c.shed.Load(),
@@ -74,5 +94,17 @@ func (s *Server) Snapshot() Counters {
 		BreakerRecoveries: c.breakerRecovered.Load(),
 		ContainedPanics:   c.containedPanics.Load(),
 		ForceCancelled:    c.forceCancelled.Load(),
+		DedupShared:       c.dedupShared.Load(),
+		HintReplays:       c.hintReplays.Load(),
 	}
+	if s.cache != nil {
+		cc := s.cache.Counters()
+		out.CacheHits = cc.Hits
+		out.CacheMisses = cc.Misses
+		out.CacheNearHits = cc.NearHits
+		out.CacheInsertions = cc.Insertions
+		out.CacheEvictions = cc.Evictions
+		out.CacheLen = cc.Len
+	}
+	return out
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"telamalloc"
 )
 
 // Outcome is the terminal verdict of a request that reached the pipeline.
@@ -69,6 +71,11 @@ type Request struct {
 	// smaller. The budget is measured from Submit — queue wait spends it —
 	// so tail latency stays bounded under load.
 	Timeout time.Duration
+	// Hint optionally supplies a decision trace from a previous response
+	// (Response.Trace) to warm-start the solve. When nil the server fills
+	// it from its own cache on a shape near-miss. Hints are advisory: every
+	// replayed packing is re-validated before being served.
+	Hint *telamalloc.DecisionTrace
 }
 
 // Response is the structured per-request report.
@@ -103,6 +110,19 @@ type Response struct {
 	QueueWait time.Duration
 	// Elapsed is service time (dequeue to verdict), excluding queue wait.
 	Elapsed time.Duration
+	// CacheHit reports the response was served from the solution cache
+	// without running the pipeline. Deduped reports it was shared from a
+	// concurrent identical request's solve. HintReplayed reports the
+	// pipeline short-circuited by replaying a decision trace. All three are
+	// load- and scheduling-dependent, hence excluded from CanonicalJSON —
+	// the offsets they annotate are byte-identical to a cold solve's.
+	CacheHit     bool
+	Deduped      bool
+	HintReplayed bool
+	// Trace is the replayable record of a full (non-degraded) packing; feed
+	// it back through Request.Hint to warm-start a repeat. Excluded from
+	// CanonicalJSON (it is derived data, not part of the verdict).
+	Trace *telamalloc.DecisionTrace
 }
 
 // canonicalResponse is the deterministic subset of Response: everything a

@@ -31,11 +31,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"telamalloc"
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/cache"
 	"telamalloc/internal/faultinject"
 	"telamalloc/internal/stats"
 )
@@ -76,6 +79,14 @@ type Config struct {
 	Breaker BreakerConfig
 	// DrainTimeout is Close's drain deadline (default 5s).
 	DrainTimeout time.Duration
+	// CacheSize bounds the solution cache (0 = default 256 entries,
+	// negative = cache disabled). Cached answers are re-validated against
+	// the submitting request's own problem before being served.
+	CacheSize int
+	// DisableDedup turns off singleflight deduplication of concurrent
+	// identical requests, so every submission runs its own solve. Mainly
+	// for tests that exercise admission control with identical floods.
+	DisableDedup bool
 	// Hook is the test-only fault-injection hook, threaded through the
 	// server's own decision points (server:admit, server:dequeue,
 	// server:hedge, server:drain) and into the pipeline's stage and
@@ -92,6 +103,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
 	}
 	c.Breaker = c.Breaker.withDefaults()
 	return c
@@ -116,6 +130,20 @@ type Server struct {
 	breakers map[string]*breaker
 	latency  *stats.EWMA
 	counters counters
+
+	cache *cache.Cache // nil when Config.CacheSize < 0
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// flight is one in-progress solve that concurrent identical requests wait
+// on. Only a full solved packing is shared; every other leader outcome
+// sends the followers through the cold path.
+type flight struct {
+	done      chan struct{}
+	shareable bool        // set before done closes
+	entry     cache.Entry // canonical packing, valid when shareable
 }
 
 // job is one admitted request and its delivery state.
@@ -145,6 +173,10 @@ func New(cfg Config) *Server {
 		queue:    make(chan *job, cfg.QueueDepth),
 		breakers: make(map[string]*breaker, len(pipelineStages)),
 		latency:  stats.NewEWMA(0.2),
+		flights:  make(map[string]*flight),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = cache.New(cfg.CacheSize)
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	for _, stage := range pipelineStages {
@@ -163,11 +195,21 @@ func New(cfg Config) *Server {
 // additionally wraps the pipeline sentinel. A nil Response means the
 // request never reached the allocator: shed (*OverloadError), rejected
 // while draining (ErrDraining), or cancelled (ErrCancelled).
+//
+// Repeated traffic takes progressively cheaper paths: an exact-fingerprint
+// cache hit answers without queueing at all; a shape near-miss seeds a
+// decision-trace hint so the pipeline skips search; and concurrent
+// identical requests share one solve (singleflight) while each caller
+// keeps its own deadline, cancellation, and exactly-once terminal outcome.
+// Every cached or shared packing is re-validated against the submitting
+// request's own problem before it is served; validation failure falls
+// through to the cold path, so reuse can change latency but never answers.
 func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	s.counters.submitted.Add(1)
+	t0 := time.Now()
 
 	starve, herr := s.hookPoint(faultinject.PointServerAdmit)
 	if herr != nil {
@@ -179,18 +221,182 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 		return nil, s.shed()
 	}
 
+	// Draining rejects before the reuse layer: a server that is shutting
+	// down must not keep answering from its cache. submitQueued re-checks
+	// under the lock that actually guards the queue close.
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		s.counters.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+
+	q := internalProblem(req.Problem)
+	if q.Validate() != nil {
+		// Fingerprints of invalid problems are meaningless; let the queue
+		// path produce the structured rejection.
+		return s.submitQueued(ctx, req, t0, cache.Fingerprint{}, nil)
+	}
+	fp, perm := cache.Canonicalize(q)
+
+	if resp := s.cacheLookup(q, fp, perm, t0); resp != nil {
+		s.counters.solved.Add(1)
+		return resp, nil
+	}
+	if s.cache != nil && req.Hint == nil {
+		if e, ok := s.cache.GetShape(fp.ShapeKey, fp.Key); ok {
+			// Same buffers, different capacity: the old packing may still
+			// fit. Ride it down as a hint; the pipeline validates before
+			// trusting it.
+			req.Hint = &telamalloc.DecisionTrace{Winner: e.Winner, Shape: fp.ShapeKey, Offsets: e.Offsets}
+		}
+	}
+
+	if s.cfg.DisableDedup {
+		return s.submitQueued(ctx, req, t0, fp, perm)
+	}
+	maxSteps := s.cfg.MaxSteps
+	if req.MaxSteps > 0 {
+		maxSteps = req.MaxSteps
+	}
+	// The flight key pins everything that could change the answer's bytes:
+	// the full problem fingerprint and the effective step pot. Timeouts
+	// deliberately don't join the key — a solved packing is valid under any
+	// deadline, and followers keep their own budget timers below.
+	flightKey := fp.Key + "#" + strconv.FormatInt(maxSteps, 10)
+	s.flightMu.Lock()
+	if f, ok := s.flights[flightKey]; ok {
+		s.flightMu.Unlock()
+		return s.awaitFlight(ctx, f, req, q, fp, perm, t0)
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[flightKey] = f
+	s.flightMu.Unlock()
+
+	resp, err := s.submitQueued(ctx, req, t0, fp, perm)
+	if err == nil && resp != nil && resp.Outcome == OutcomeSolved {
+		f.entry = cache.Entry{Winner: resp.Winner, Offsets: cache.ToCanonical(resp.Offsets, perm)}
+		f.shareable = f.entry.Offsets != nil
+	}
+	s.flightMu.Lock()
+	delete(s.flights, flightKey)
+	s.flightMu.Unlock()
+	close(f.done)
+	return resp, err
+}
+
+// internalProblem converts the public problem into the internal schema the
+// fingerprint and validators operate on. Buffer order is preserved, so the
+// canonical permutation computed here transports response offsets too.
+func internalProblem(p Problem) *buffers.Problem {
+	q := &buffers.Problem{Memory: p.Memory, Name: p.Name}
+	for _, b := range p.Buffers {
+		q.Buffers = append(q.Buffers, buffers.Buffer{
+			Start: b.Start, End: b.End, Size: b.Size, Align: b.Align,
+		})
+	}
+	q.Normalize()
+	return q
+}
+
+// effectiveBudget resolves the per-request wall pot: the server default,
+// shrunk by the request's own timeout.
+func (s *Server) effectiveBudget(req Request) time.Duration {
 	budget := s.cfg.RequestTimeout
 	if req.Timeout > 0 && (budget == 0 || req.Timeout < budget) {
 		budget = req.Timeout
 	}
+	return budget
+}
+
+// cacheLookup serves an exact-fingerprint cache hit: replay through the
+// canonical permutation, re-validate against this request's own problem,
+// and answer without touching the queue. An entry that fails validation is
+// dropped and the request proceeds cold — a bad entry costs one validation
+// sweep, never a wrong answer.
+func (s *Server) cacheLookup(q *buffers.Problem, fp cache.Fingerprint, perm []int, t0 time.Time) *Response {
+	if s.cache == nil {
+		return nil
+	}
+	e, ok := s.cache.Get(fp.Key)
+	if !ok {
+		return nil
+	}
+	offsets := cache.Replay(e.Offsets, perm)
+	if offsets == nil || (&buffers.Solution{Offsets: offsets}).Validate(q) != nil {
+		s.cache.Drop(fp.Key)
+		return nil
+	}
+	return &Response{
+		Outcome:    OutcomeSolved,
+		Winner:     e.Winner,
+		Offsets:    offsets,
+		LowerBound: buffers.Contention(q).Peak(),
+		Memory:     q.Memory,
+		CacheHit:   true,
+		Elapsed:    time.Since(t0),
+		Trace:      &telamalloc.DecisionTrace{Winner: e.Winner, Shape: fp.ShapeKey, Offsets: e.Offsets},
+	}
+}
+
+// awaitFlight is the follower side of singleflight: wait for the leader's
+// verdict while keeping this caller's own deadline and cancellation. Only
+// a full solved packing is shared, and it is re-validated against the
+// follower's own problem first; any other leader outcome — failure,
+// degradation, cancellation, a packing that doesn't validate — sends the
+// follower through the cold path so its verdict is earned, not inherited.
+func (s *Server) awaitFlight(ctx context.Context, f *flight, req Request, q *buffers.Problem, fp cache.Fingerprint, perm []int, t0 time.Time) (*Response, error) {
+	var budgetC <-chan time.Time
+	if budget := s.effectiveBudget(req); budget > 0 {
+		timer := time.NewTimer(budget - time.Since(t0))
+		defer timer.Stop()
+		budgetC = timer.C
+	}
+	select {
+	case <-f.done:
+		if f.shareable {
+			if offsets := cache.Replay(f.entry.Offsets, perm); offsets != nil &&
+				(&buffers.Solution{Offsets: offsets}).Validate(q) == nil {
+				s.counters.dedupShared.Add(1)
+				s.counters.solved.Add(1)
+				return &Response{
+					Outcome:    OutcomeSolved,
+					Winner:     f.entry.Winner,
+					Offsets:    offsets,
+					LowerBound: buffers.Contention(q).Peak(),
+					Memory:     q.Memory,
+					Deduped:    true,
+					Elapsed:    time.Since(t0),
+					Trace:      &telamalloc.DecisionTrace{Winner: f.entry.Winner, Shape: fp.ShapeKey, Offsets: f.entry.Offsets},
+				}, nil
+			}
+		}
+		return s.submitQueued(ctx, req, t0, fp, perm)
+	case <-ctx.Done():
+		s.counters.cancelled.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrCancelled, context.Cause(ctx))
+	case <-budgetC:
+		// The shared solve outlived this caller's own pot. The queue path
+		// turns the spent budget into its usual fast-fail verdict (and
+		// still sheds or rejects if the server state demands it).
+		return s.submitQueued(ctx, req, t0, fp, perm)
+	}
+}
+
+// submitQueued is the cold path: enqueue the request, wait for the worker's
+// verdict or the caller's cancellation, and feed full packings back into
+// the solution cache. t0 is the Submit entry time, so queue-wait accounting
+// and the request budget span reuse-layer time too.
+func (s *Server) submitQueued(ctx context.Context, req Request, t0 time.Time, fp cache.Fingerprint, perm []int) (*Response, error) {
 	jctx, cancel := context.WithCancel(ctx)
 	j := &job{
 		req:       req,
 		ctx:       jctx,
 		cancel:    cancel,
 		stop:      context.AfterFunc(s.forceCtx, cancel),
-		submitted: time.Now(),
-		budget:    budget,
+		submitted: t0,
+		budget:    s.effectiveBudget(req),
 		done:      make(chan struct{}),
 	}
 
@@ -218,6 +424,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 
 	select {
 	case <-j.done:
+		s.cachePut(j.resp, j.err, fp, perm)
 		return j.resp, j.err
 	case <-ctx.Done():
 		if j.settle() {
@@ -227,7 +434,27 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 		}
 		// The worker delivered first; its verdict stands.
 		<-j.done
+		s.cachePut(j.resp, j.err, fp, perm)
 		return j.resp, j.err
+	}
+}
+
+// cachePut feeds a solved full packing back into the cache and stamps the
+// response with its replayable trace. Degraded packings are not cacheable
+// (spilled offsets aren't transportable) and failures carry no packing.
+func (s *Server) cachePut(resp *Response, err error, fp cache.Fingerprint, perm []int) {
+	if err != nil || resp == nil || resp.Outcome != OutcomeSolved || perm == nil {
+		return
+	}
+	canonical := cache.ToCanonical(resp.Offsets, perm)
+	if canonical == nil {
+		return
+	}
+	if resp.Trace == nil {
+		resp.Trace = &telamalloc.DecisionTrace{Winner: resp.Winner, Shape: fp.ShapeKey, Offsets: canonical}
+	}
+	if s.cache != nil {
+		s.cache.Put(fp, cache.Entry{Winner: resp.Winner, Offsets: canonical})
 	}
 }
 
@@ -294,6 +521,9 @@ func (s *Server) serveJob(j *job) {
 	}
 	j.resp, j.err = resp, err
 	if j.settle() {
+		if resp != nil && resp.HintReplayed {
+			s.counters.hintReplays.Add(1)
+		}
 		switch {
 		case err == nil && resp.Outcome == OutcomeDegraded:
 			s.counters.degraded.Add(1)
@@ -373,6 +603,9 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 	if s.cfg.Hook != nil {
 		opts = append(opts, telamalloc.WithFaultHook(s.cfg.Hook))
 	}
+	if j.req.Hint != nil {
+		opts = append(opts, telamalloc.WithHints(j.req.Hint))
+	}
 
 	ch := make(chan attempt, 2)
 	s.bgWG.Add(1)
@@ -381,6 +614,10 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 		defer func() {
 			if r := recover(); r != nil {
 				s.counters.containedPanics.Add(1)
+				// Settle the breaker decisions with no signal: without this,
+				// a half-open probe slot would stay held forever and the
+				// stage could never be re-admitted.
+				s.observeBreakers(decisions, telamalloc.PipelineResult{})
 				ferr := fmt.Errorf("%w: panic around pipeline: %v", telamalloc.ErrInternal, r)
 				ch <- attempt{main: true, err: ferr, resp: &Response{
 					Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: ferr.Error(),
@@ -479,6 +716,8 @@ func responseFrom(res telamalloc.PipelineResult, perr error, skipped []string) *
 	}
 	r.Winner = res.Winner
 	r.Offsets = res.Solution.Offsets
+	r.Trace = res.Trace
+	r.HintReplayed = res.HintReplayed
 	if res.Degraded {
 		r.Outcome = OutcomeDegraded
 		r.Spilled = res.Spill.Spilled
@@ -525,6 +764,14 @@ func (s *Server) observeBreakers(decisions map[string]decision, res telamalloc.P
 	for stage, d := range decisions {
 		rep, ok := reports[stage]
 		ran := ok && !rep.Skipped
+		if ran && errors.Is(rep.Err, telamalloc.ErrCancelled) {
+			// A cancelled stage (hedge won the race, caller gave up, drain
+			// force-cancel) carries no health signal: it must not close a
+			// half-open breaker as a "successful" probe, and it is not a
+			// failure either. Report it as not-run so the breaker releases
+			// the probe slot without a verdict.
+			ran = false
+		}
 		failed := false
 		if ran && rep.Err != nil {
 			switch {

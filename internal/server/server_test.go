@@ -127,6 +127,10 @@ func TestSubmitShedsWhenFull(t *testing.T) {
 	s := New(Config{
 		Workers:    1,
 		QueueDepth: 2,
+		// The flood is intentionally identical requests; dedup would
+		// collapse it to one queued solve and no shedding. This test is
+		// about admission control, so dedup is off.
+		DisableDedup: true,
 		Hook: func(point string) bool {
 			if point == faultinject.PointServerDequeue {
 				<-gate
@@ -324,6 +328,10 @@ func TestBreakerTripsSkipsAndRecovers(t *testing.T) {
 	s := New(Config{
 		Workers: 1,
 		Breaker: BreakerConfig{Threshold: 3, Cooldown: 150 * time.Millisecond},
+		// Every submission repeats the same problem and must actually run
+		// the ladder for the breaker to see the injected failures; a cache
+		// hit would short-circuit the pipeline.
+		CacheSize: -1,
 		Hook: func(point string) bool {
 			if point == faultinject.StageEntry(telamalloc.StageSearch) {
 				mu.Lock()

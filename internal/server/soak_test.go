@@ -164,6 +164,10 @@ func TestSoakSheddingBoundsLatency(t *testing.T) {
 	s := New(Config{
 		Workers:    2,
 		QueueDepth: 4,
+		// This soak floods identical requests on purpose; dedup would make
+		// 39 of them followers of one queued solve and no shedding would
+		// ever engage. Admission control is the contract under test.
+		DisableDedup: true,
 		Hook: func(point string) bool {
 			if point == faultinject.PointServerDequeue {
 				<-gate

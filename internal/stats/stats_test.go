@@ -59,6 +59,61 @@ func TestMinMax(t *testing.T) {
 	approx(t, "Max empty", Max(nil), 0)
 }
 
+// TestEWMAColdStart is the regression table for retry-after pricing on a
+// freshly started daemon: the first Observe must seed the estimate directly
+// instead of decaying from zero, otherwise a cold server advertises
+// near-zero backoff hints and callers hammer it. The later rows pin the
+// standard recurrence and the alpha clamp.
+func TestEWMAColdStart(t *testing.T) {
+	cases := []struct {
+		name    string
+		alpha   float64
+		observe []float64
+		want    []float64 // expected Value after each observation
+	}{
+		{
+			name:    "first observation seeds directly",
+			alpha:   0.2,
+			observe: []float64{1000},
+			want:    []float64{1000},
+		},
+		{
+			name:    "seed then standard recurrence",
+			alpha:   0.5,
+			observe: []float64{100, 200, 400},
+			want:    []float64{100, 150, 275},
+		},
+		{
+			name:    "low alpha still seeds from the first sample",
+			alpha:   0.01,
+			observe: []float64{5000, 5000},
+			want:    []float64{5000, 5000},
+		},
+		{
+			name:    "seeding works for zero samples too",
+			alpha:   0.2,
+			observe: []float64{0, 10},
+			want:    []float64{0, 2},
+		},
+		{
+			name:    "out-of-range alpha clamps to 0.2",
+			alpha:   7,
+			observe: []float64{10, 20},
+			want:    []float64{10, 12},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEWMA(tc.alpha)
+			approx(t, "Value before any observation", e.Value(), 0)
+			for i, x := range tc.observe {
+				e.Observe(x)
+				approx(t, "Value after observation", e.Value(), tc.want[i])
+			}
+		})
+	}
+}
+
 func TestRMSE(t *testing.T) {
 	approx(t, "RMSE zero", RMSE([]float64{1, 2}, []float64{1, 2}), 0)
 	approx(t, "RMSE", RMSE([]float64{0, 0}, []float64{3, 4}), math.Sqrt(12.5))

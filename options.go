@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"telamalloc/internal/buffers"
+	"telamalloc/internal/cache"
 	"telamalloc/internal/core"
 	"telamalloc/internal/gbt"
 	"telamalloc/internal/ilp"
@@ -28,6 +29,7 @@ type config struct {
 	timeout time.Duration
 	ctx     context.Context
 	pipe    pipelineConfig
+	hint    *DecisionTrace
 }
 
 func buildConfig(opts []Option) config {
@@ -82,6 +84,18 @@ func WithCancel(cancel func() bool) Option {
 // containment contract rather than assume it.
 func WithFaultHook(hook func(point string) bool) Option {
 	return func(c *config) { c.core.Hook = hook }
+}
+
+// WithHints feeds a decision trace from a previous win (PipelineResult.
+// Trace) back as a first-try packing. When the trace's shape fingerprint
+// matches the problem and the replayed packing validates, the solve returns
+// it immediately — a warm start that skips search entirely. An unusable
+// trace is silently ignored; correctness never depends on the hint because
+// every replayed packing is re-validated against the actual problem first.
+// A nil trace is a no-op, so callers can pass a maybe-absent cache result
+// unconditionally.
+func WithHints(t *DecisionTrace) Option {
+	return func(c *config) { c.hint = t }
 }
 
 // WithSkylinePlacement selects the simple skyline placement strategy
@@ -173,6 +187,9 @@ func WithStepGate(m *StepGateModel, threshold float64) Option {
 // context) once the internal problem exists and the solve is beginning.
 func (c *config) finalize(q *buffers.Problem) core.Config {
 	cfg := c.core
+	if c.hint != nil {
+		cfg.Hint = c.hintSolution(q)
+	}
 	if c.timeout > 0 {
 		deadline := time.Now().Add(c.timeout)
 		if cfg.Deadline.IsZero() || deadline.Before(cfg.Deadline) {
@@ -195,6 +212,22 @@ func (c *config) finalize(q *buffers.Problem) core.Config {
 		cfg.Gate = mlpolicy.NewStepGate(c.gate.forest, q, threshold)
 	}
 	return cfg
+}
+
+// hintSolution replays the configured decision trace onto q, returning the
+// transported packing when the shape fingerprints match and nil otherwise.
+// The caller (core.Solve) re-validates the packing before trusting it, so
+// this only has to be shape-safe, not correct.
+func (c *config) hintSolution(q *buffers.Problem) *buffers.Solution {
+	fp, perm := cache.Canonicalize(q)
+	if c.hint == nil || c.hint.Shape != fp.ShapeKey {
+		return nil
+	}
+	offsets := cache.Replay(c.hint.Offsets, perm)
+	if offsets == nil {
+		return nil
+	}
+	return &buffers.Solution{Offsets: offsets}
 }
 
 // BacktrackModel is a trained backtracking policy (a gradient boosted tree
