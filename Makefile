@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak
+.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak
 
 ## ci: the full verification gate — lint, build, the test suite under the
 ## race detector (the parallel subproblem solver makes -race mandatory),
 ## the fault-injection suite re-run under -race, the serving-layer soak,
-## the solution-cache soak, and a fuzz smoke of the public API.
-ci: lint build race faultrace soak cachesoak fuzz
+## the solution-cache soak, the observability soak, and a fuzz smoke of the
+## public API.
+ci: lint build race faultrace soak cachesoak obssoak fuzz
 
 build:
 	$(GO) build ./...
@@ -22,12 +23,20 @@ vet:
 
 ## lint: go vet plus staticcheck when the binary is available; skipped with
 ## a notice otherwise (the CI image may not carry it, and lint must not be
-## the reason ci cannot run from a clean checkout).
+## the reason ci cannot run from a clean checkout). Also bans fmt.Print* in
+## internal/server non-test files: the serving layer reports through the obs
+## registry and the tracer, never by scribbling on the process's stdout.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed; skipping (go vet still ran)"; \
+	fi
+	@bad=$$(grep -n 'fmt\.Print' internal/server/*.go | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: fmt.Print* is banned in internal/server (use obs metrics/tracer):"; \
+		echo "$$bad"; \
+		exit 1; \
 	fi
 
 ## soak: the serving-layer robustness suite under the race detector —
@@ -45,6 +54,14 @@ soak:
 ## balance with the terminal-outcome ledger. See DESIGN.md §10.
 cachesoak:
 	$(GO) test -race -count=1 -run TestCacheSoak ./internal/server
+
+## obssoak: the observability acceptance soak under the race detector — a
+## hedged server under mixed load with a live scraper goroutine: the
+## /metrics scrape must agree exactly with the Counters ledger after drain,
+## histogram counts must equal admissions, and the tracer's span open/close
+## accounting must balance with zero drops. See DESIGN.md §11.
+obssoak:
+	$(GO) test -race -count=1 -run 'TestObsSoak|TestMetricsScrapeMatchesSnapshot|TestTraceSpanBalance' ./internal/server
 
 ## faultrace: the deterministic fault-injection harness (injected panics,
 ## stalls, budget starvation) under the race detector — the containment

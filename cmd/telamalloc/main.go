@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -142,8 +143,13 @@ func runPipeline(p *buffers.Problem, maxSteps int64, timeout time.Duration, para
 	if timeout > 0 {
 		opts = append(opts, telamalloc.WithTimeout(timeout))
 	}
+	alloc, err := telamalloc.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	start := time.Now()
-	res, err := telamalloc.AllocatePipeline(pub, opts...)
+	res, err := alloc.Pipeline(context.Background(), pub)
 	elapsed := time.Since(start)
 	if !quiet {
 		for _, rep := range res.Stages {

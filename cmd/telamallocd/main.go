@@ -11,30 +11,40 @@
 //
 // Usage:
 //
-//	echo '{"id":"r1","memory":8,"buffers":[{"start":0,"end":4,"size":4},{"start":0,"end":4,"size":4}]}' | telamallocd
+//	echo '{"v":1,"id":"r1","memory":8,"buffers":[{"start":0,"end":4,"size":4},{"start":0,"end":4,"size":4}]}' | telamallocd
 //	telamallocd -hedge -workers 8 -req-timeout 2s < requests.jsonl
-//	telamallocd -listen :7333 &
+//	telamallocd -listen :7333 -metrics-addr :9100 -trace-file trace.jsonl &
 //
-// Request schema:
+// Request schema (wire protocol version 1, DESIGN.md §12):
 //
-//	{"id":"r1",                 // echoed back, optional
+//	{"v":1,                     // protocol version; omitted means 1
+//	 "id":"r1",                 // echoed back, optional
 //	 "name":"model-a",          // diagnostic label, optional
 //	 "memory":1048576,          // scratchpad limit, required
 //	 "buffers":[{"start":0,"end":4,"size":512,"align":64}, ...],
 //	 "max_steps":200000,        // per-request step pot, optional
 //	 "timeout_ms":500}          // per-request wall pot, optional
 //
-// Report schema (one line per request):
+// Report schema (one line per request; "v" is always the version served):
 //
-//	{"id":"r1","outcome":"solved","winner":"greedy","offsets":[0,512],
+//	{"v":1,"id":"r1","outcome":"solved","winner":"greedy","offsets":[0,512],
 //	 "lower_bound":1024,"memory":1048576,"elapsed_ms":0.21,...}
 //
 // outcome is one of solved, degraded, failed, shed, cancelled, rejected;
-// shed reports carry "retry_after_ms". On stdin EOF (or SIGINT/SIGTERM in
-// -listen mode) the daemon drains gracefully — stops admitting, finishes or
-// cancels in-flight work within -drain-timeout — and prints the service
-// counters to stderr. Exit code 0 after a clean drain, 3 after a forced
-// one, 1 on usage errors.
+// shed reports carry "retry_after_ms". A request with an unknown "v" is
+// rejected without being parsed further: outcome "rejected" with
+// error_code "unsupported_version" — never a silent misinterpretation.
+//
+// With -metrics-addr the daemon serves its observability surface over HTTP:
+// Prometheus metrics at /metrics, the expvar JSON dump at /debug/vars, and
+// the pprof profiles under /debug/pprof/. With -trace-file every request's
+// lifecycle spans (admit → queue → cache/dedup → stage:<s> → settle) are
+// appended to the given file as JSON Lines.
+//
+// On stdin EOF (or SIGINT/SIGTERM in -listen mode) the daemon drains
+// gracefully — stops admitting, finishes or cancels in-flight work within
+// -drain-timeout — and prints the service counters to stderr. Exit code 0
+// after a clean drain, 3 after a forced one, 1 on usage errors.
 package main
 
 import (
@@ -42,10 +52,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -53,8 +66,13 @@ import (
 	"time"
 
 	"telamalloc"
+	"telamalloc/internal/obs"
 	"telamalloc/internal/server"
 )
+
+// wireVersion is the line protocol version this daemon speaks. Requests may
+// omit "v" (treated as 1); any other value is rejected up front.
+const wireVersion = 1
 
 type wireBuffer struct {
 	Start int64 `json:"start"`
@@ -64,6 +82,7 @@ type wireBuffer struct {
 }
 
 type wireRequest struct {
+	V         int          `json:"v,omitempty"`
 	ID        string       `json:"id,omitempty"`
 	Name      string       `json:"name,omitempty"`
 	Memory    int64        `json:"memory"`
@@ -73,8 +92,10 @@ type wireRequest struct {
 }
 
 type wireResponse struct {
+	V                int      `json:"v"`
 	ID               string   `json:"id,omitempty"`
 	Outcome          string   `json:"outcome"`
+	ErrorCode        string   `json:"error_code,omitempty"`
 	Winner           string   `json:"winner,omitempty"`
 	Offsets          []int64  `json:"offsets,omitempty"`
 	Spilled          []int    `json:"spilled,omitempty"`
@@ -107,9 +128,48 @@ func main() {
 		drainTO      = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain deadline on shutdown")
 		cacheSize    = flag.Int("cache-size", 256, "solution cache capacity in entries (0 disables caching)")
 		noDedup      = flag.Bool("no-dedup", false, "disable singleflight deduplication of concurrent identical requests")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /debug/vars and /debug/pprof/ (empty = off)")
+		traceFile    = flag.String("trace-file", "", "append request lifecycle spans to this file as JSON Lines (empty = off)")
 		quiet        = flag.Bool("q", false, "suppress the counters summary on shutdown")
 	)
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	var flushTrace func()
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telamallocd: -trace-file: %v\n", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		tracer = obs.NewTracer(bw)
+		// main exits via os.Exit, so the flush is explicit, after drain.
+		flushTrace = func() {
+			bw.Flush()
+			f.Close()
+		}
+	}
+
+	if *metricsAddr != "" {
+		reg := obs.Default()
+		reg.PublishExpvar("telamalloc")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telamallocd: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telamallocd: observability on http://%s/metrics\n", mln.Addr())
+		go func() { _ = http.Serve(mln, mux) }()
+	}
 
 	cacheCfg := *cacheSize
 	if cacheCfg <= 0 {
@@ -130,6 +190,7 @@ func main() {
 			Cooldown:  *brkCooldown,
 			SlowStage: *slowStage,
 		},
+		Tracer: tracer,
 	})
 
 	if *listen == "" {
@@ -143,6 +204,9 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "telamallocd: %v\n", err)
 		code = 3
+	}
+	if flushTrace != nil {
+		flushTrace()
 	}
 	if !*quiet {
 		c := srv.Snapshot()
@@ -196,9 +260,10 @@ func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	emit := func(resp wireResponse) {
+		resp.V = wireVersion // every report declares the version it speaks
 		line, err := json.Marshal(resp)
 		if err != nil {
-			line = []byte(`{"outcome":"failed","error":"report marshal failure"}`)
+			line = []byte(`{"v":1,"outcome":"failed","error":"report marshal failure"}`)
 		}
 		mu.Lock()
 		defer mu.Unlock()
@@ -211,7 +276,16 @@ func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
 		}
 		var req wireRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
-			emit(wireResponse{Outcome: "rejected", Error: fmt.Sprintf("bad request line: %v", err)})
+			emit(wireResponse{Outcome: "rejected", ErrorCode: "bad_request",
+				Error: fmt.Sprintf("bad request line: %v", err)})
+			continue
+		}
+		// Version gate: v omitted (0) means 1; anything else is a client
+		// speaking a protocol this daemon does not — reject typed, never
+		// guess at field semantics.
+		if req.V != 0 && req.V != wireVersion {
+			emit(wireResponse{ID: req.ID, Outcome: "rejected", ErrorCode: "unsupported_version",
+				Error: fmt.Sprintf("unsupported wire protocol version %d (this daemon speaks %d)", req.V, wireVersion)})
 			continue
 		}
 		wg.Add(1)
@@ -237,6 +311,7 @@ func handle(srv *server.Server, wreq wireRequest) wireResponse {
 		Problem:  p,
 		MaxSteps: wreq.MaxSteps,
 		Timeout:  time.Duration(wreq.TimeoutMS) * time.Millisecond,
+		TraceID:  wreq.ID,
 	})
 	out := wireResponse{ID: wreq.ID}
 	var overload *server.OverloadError

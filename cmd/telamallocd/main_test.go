@@ -169,3 +169,59 @@ func TestHandleShedReport(t *testing.T) {
 		t.Fatal("queue of depth 1 with a parked worker never shed")
 	}
 }
+
+func TestServeStreamVersioning(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 8})
+	defer srv.Close()
+
+	in := strings.Join([]string{
+		// Explicit v:1 and omitted v are the same protocol.
+		`{"v":1,"id":"explicit","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+		`{"id":"implicit","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+		// A future version must be rejected up front, fields unread.
+		`{"v":2,"id":"future","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+		`{"v":-1,"id":"negative","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+	}, "\n") + "\n"
+
+	var out bytes.Buffer
+	serveStream(srv, strings.NewReader(in), &out)
+	byID := decodeReports(t, &out)
+	if len(byID) != 4 {
+		t.Fatalf("got %d reports (%v), want 4", len(byID), byID)
+	}
+
+	for _, id := range []string{"explicit", "implicit"} {
+		resp := byID[id]
+		if resp.Outcome != "solved" {
+			t.Errorf("%s: outcome %q, want solved", id, resp.Outcome)
+		}
+		if resp.ErrorCode != "" {
+			t.Errorf("%s: unexpected error_code %q", id, resp.ErrorCode)
+		}
+	}
+	for _, id := range []string{"future", "negative"} {
+		resp := byID[id]
+		if resp.Outcome != "rejected" || resp.ErrorCode != "unsupported_version" {
+			t.Errorf("%s: got outcome %q error_code %q, want rejected/unsupported_version",
+				id, resp.Outcome, resp.ErrorCode)
+		}
+		if resp.Offsets != nil {
+			t.Errorf("%s: rejected report must not carry offsets: %+v", id, resp)
+		}
+		if !strings.Contains(resp.Error, "version") {
+			t.Errorf("%s: error text should name the version problem: %q", id, resp.Error)
+		}
+	}
+
+	// Every report line, including rejections, declares the served version.
+	sc := bufio.NewScanner(bytes.NewReader(out.Bytes()))
+	for sc.Scan() {
+		var raw map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &raw); err != nil {
+			t.Fatalf("unparseable report line %q: %v", sc.Text(), err)
+		}
+		if v, ok := raw["v"].(float64); !ok || v != 1 {
+			t.Errorf("report %q: \"v\" = %v, want 1 on every line", sc.Text(), raw["v"])
+		}
+	}
+}

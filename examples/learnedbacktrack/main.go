@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,17 +34,29 @@ func main() {
 	fmt.Println("trained 100-tree backtracking forest")
 	fmt.Println()
 
+	// Two reusable handles — one per arm — so the model is bound and the
+	// options validated once, not per held-out instance. Both arms use
+	// strict candidate mode so the comparison isolates the backtracking
+	// policy (WithBacktrackModel implies it).
+	baseline, err := telamalloc.New(
+		telamalloc.WithMaxSteps(60000), telamalloc.WithoutSubproblemSplit(),
+		telamalloc.WithStrictCandidates())
+	if err != nil {
+		log.Fatalf("configuring baseline allocator: %v", err)
+	}
+	learned, err := telamalloc.New(
+		telamalloc.WithMaxSteps(60000), telamalloc.WithBacktrackModel(model))
+	if err != nil {
+		log.Fatalf("configuring learned allocator: %v", err)
+	}
+
 	fmt.Printf("%-12s %14s %14s %10s %10s\n", "instance", "backtracks", "backtracks+ML", "solved", "solved+ML")
 	improved, evaluated := 0, 0
+	ctx := context.Background()
 	for seed := int64(100); seed < 112; seed++ {
 		p := toPublic(workload.Random(seed, 101))
-		// Both arms use strict candidate mode so the comparison isolates
-		// the backtracking policy (WithBacktrackModel implies it).
-		_, off, errOff := telamalloc.Allocate(p,
-			telamalloc.WithMaxSteps(60000), telamalloc.WithoutSubproblemSplit(),
-			telamalloc.WithStrictCandidates())
-		_, on, errOn := telamalloc.Allocate(p,
-			telamalloc.WithMaxSteps(60000), telamalloc.WithBacktrackModel(model))
+		_, off, errOff := baseline.Allocate(ctx, p)
+		_, on, errOn := learned.Allocate(ctx, p)
 		offBT := off.MinorBacktracks + off.MajorBacktracks
 		onBT := on.MinorBacktracks + on.MajorBacktracks
 		fmt.Printf("seed-%-7d %14d %14d %10v %10v\n",

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,6 +29,14 @@ import (
 func main() {
 	fmt.Println("On-device compilation flow (greedy -> TelaMalloc fallback)")
 	fmt.Println()
+	// One handle serves every model: on-device compilers keep a configured
+	// allocator around rather than re-validating options per compilation.
+	fallback, err := telamalloc.New(
+		telamalloc.WithMaxSteps(2_000_000),
+		telamalloc.WithTimeout(10*time.Second))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("%-20s %8s %14s %16s %12s\n", "model", "buffers", "greedy", "telamalloc", "result")
 	for _, m := range workload.Models {
 		p := m.Generate(42)
@@ -48,9 +57,7 @@ func main() {
 		}
 
 		start = time.Now()
-		_, stats, err := telamalloc.Allocate(pub,
-			telamalloc.WithMaxSteps(2_000_000),
-			telamalloc.WithTimeout(10*time.Second))
+		_, stats, err := fallback.Allocate(context.Background(), pub)
 		tmTime := time.Since(start)
 		result := "telamalloc ok"
 		if err != nil {
@@ -72,9 +79,9 @@ func main() {
 	pub := toPublic(p, peak*105/100)
 	fmt.Println("For contrast, the old ILP fallback on Image Model 1 (2s budget):")
 	start := time.Now()
-	_, err := telamalloc.SolveExact(pub, 0, 2*time.Second)
+	_, ilpErr := telamalloc.SolveExact(pub, 0, 2*time.Second)
 	fmt.Printf("  ILP: %v after %.0f ms — this is the user-visible stall TelaMalloc removes\n",
-		errString(err), msf(time.Since(start)))
+		errString(ilpErr), msf(time.Since(start)))
 }
 
 func toPublic(p *buffers.Problem, memory int64) telamalloc.Problem {

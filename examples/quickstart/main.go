@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,13 @@ func main() {
 		fmt.Println("greedy heuristic solved it — TelaMalloc is the fallback for when it can't")
 	}
 
-	sol, stats, err := telamalloc.Allocate(problem)
+	// Build a reusable handle: options are validated once and the same
+	// handle serves every subsequent allocation (here there is just one).
+	alloc, err := telamalloc.New()
+	if err != nil {
+		log.Fatalf("configuring allocator: %v", err)
+	}
+	sol, stats, err := alloc.Allocate(context.Background(), problem)
 	if err != nil {
 		log.Fatalf("allocation failed: %v", err)
 	}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/obs"
+	"telamalloc/internal/telamon"
+)
+
+// obsProblem is a small instance that requires a real (multi-step) search.
+func obsProblem() *buffers.Problem {
+	p := &buffers.Problem{Memory: 12}
+	for i := int64(0); i < 6; i++ {
+		p.Buffers = append(p.Buffers, buffers.Buffer{Start: i, End: i + 3, Size: 4})
+	}
+	p.Normalize()
+	return p
+}
+
+func TestSolveRecordsEffortTelemetry(t *testing.T) {
+	r := obs.NewRegistry()
+	m := solverMetricsFor(r)
+	if again := solverMetricsFor(r); again != m {
+		t.Fatal("solver metrics must bind once per registry")
+	}
+
+	res := Solve(obsProblem(), Config{Obs: r, Parallelism: 1})
+	if res.Status != telamon.Solved {
+		t.Fatalf("solve failed: %v", res.Status)
+	}
+	if got := m.solves.Value(); got != 1 {
+		t.Errorf("solves counter %d, want 1", got)
+	}
+	if got := m.results[telamon.Solved].Value(); got != 1 {
+		t.Errorf("solved-status counter %d, want 1", got)
+	}
+	// The stride-sampled live counter flushes on search exit, so after the
+	// solve it must equal the exact aggregate step count.
+	if got, want := m.steps.Value(), res.Stats.Steps; got != want {
+		t.Errorf("sampled steps %d, want exact total %d", got, want)
+	}
+	if got := m.stepsHist.Count(); got != 1 {
+		t.Errorf("steps histogram count %d, want 1", got)
+	}
+	if got, want := m.subproblems.Value(), int64(res.Subproblems); got != want {
+		t.Errorf("subproblems counter %d, want %d", got, want)
+	}
+	if m.seconds.Count() != 1 {
+		t.Errorf("seconds histogram count %d, want 1", m.seconds.Count())
+	}
+
+	// A second solve on the same registry accumulates.
+	Solve(obsProblem(), Config{Obs: r, Parallelism: 1})
+	if got := m.solves.Value(); got != 2 {
+		t.Errorf("solves counter %d after second solve, want 2", got)
+	}
+	if got, want := m.steps.Value(), 2*res.Stats.Steps; got != want {
+		t.Errorf("sampled steps %d after identical second solve, want %d", got, want)
+	}
+}
+
+func TestSolveInvalidStatusCounted(t *testing.T) {
+	r := obs.NewRegistry()
+	m := solverMetricsFor(r)
+	p := &buffers.Problem{Memory: -1}
+	p.Buffers = append(p.Buffers, buffers.Buffer{Start: 0, End: 1, Size: 1})
+	if res := Solve(p, Config{Obs: r}); res.Status != telamon.Invalid {
+		t.Fatalf("status %v, want invalid", res.Status)
+	}
+	if got := m.results[telamon.Invalid].Value(); got != 1 {
+		t.Errorf("invalid-status counter %d, want 1", got)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"telamalloc/internal/buffers"
 	"telamalloc/internal/heuristics"
+	"telamalloc/internal/obs"
 	"telamalloc/internal/phases"
 	"telamalloc/internal/telamon"
 )
@@ -108,6 +109,13 @@ type Config struct {
 	// silently ignored and the solve proceeds cold. Hints never change the
 	// answer's validity — only how fast a repeated problem reaches it.
 	Hint *buffers.Solution
+	// Obs, when non-nil, routes this solve's telemetry (effort counters,
+	// per-solve histograms, the stride-sampled live step counter) into the
+	// given registry instead of the process-global obs.Default(). Recording
+	// is always on: it costs a handful of atomic adds per solve plus one
+	// atomic add per budget-poll stride, which benchmarks cannot
+	// distinguish from noise.
+	Obs *obs.Registry
 	// Chooser, when non-nil, supplies learned backtrack decisions.
 	Chooser BacktrackChooser
 	// Gate, when non-nil, decides per decision point whether to build the
@@ -140,8 +148,20 @@ type Result struct {
 
 // Solve runs TelaMalloc on p. Independent subproblems are dispatched to a
 // bounded worker pool (Config.Parallelism) with a deterministic merge; see
-// solveGroups for the contract.
+// solveGroups for the contract. Every solve records its effort telemetry
+// into Config.Obs (default: the process-global registry); during the
+// search, progress is additionally sampled on the budget-poll stride so
+// live scrapes see long solves move.
 func Solve(p *buffers.Problem, cfg Config) Result {
+	m := solverMetricsFor(cfg.Obs)
+	start := time.Now()
+	res := solve(p, cfg)
+	m.record(res, time.Since(start))
+	return res
+}
+
+// solve is Solve without the telemetry wrapper.
+func solve(p *buffers.Problem, cfg Config) Result {
 	if err := p.Validate(); err != nil {
 		return Result{Status: telamon.Invalid, Err: err}
 	}
@@ -257,6 +277,7 @@ func solveComponent(p *buffers.Problem, cfg Config, maxSteps int64, cancel func(
 		hook := cfg.Hook
 		opts.TestHook = func() bool { return hook(point) }
 	}
+	opts.OnSample = solverMetricsFor(cfg.Obs).sampler()
 	return telamon.Search(p, nil, policy, opts)
 }
 

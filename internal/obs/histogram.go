@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// The bucket layout is fixed and logarithmic: bucket i covers
+// (histMin·2^(i-1), histMin·2^i], with a final overflow bucket for
+// observations beyond the last bound. One layout serves both latencies in
+// seconds (1µs resolution at the bottom) and search-effort counts (up to
+// ~5·10^11 steps at the top): 60 power-of-two buckets span 1e-6 .. 1e-6·2^59.
+//
+// Fixed buckets keep Observe lock-free — a single atomic add into a
+// precomputed slot — and make scraped bucket counts monotone by
+// construction, at the cost of ~2× relative quantile error, which is
+// accurate enough to see a P99 move.
+const (
+	histMin     = 1e-6
+	histBuckets = 60
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i.
+var histBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := histMin
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a lock-free log-bucketed histogram with quantile estimates.
+// Build one through Registry.Histogram.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // +1: overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex returns the slot for v: the smallest i with v <= histBounds[i],
+// or the overflow slot when v exceeds every bound.
+func bucketIndex(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(v / histMin)))
+	if i >= histBuckets {
+		return histBuckets
+	}
+	// Guard against log/pow rounding on exact powers of two: the computed
+	// slot must actually cover v.
+	if histBounds[i] < v {
+		i++
+		if i >= histBuckets {
+			return histBuckets
+		}
+	}
+	return i
+}
+
+// Observe folds one sample into the histogram. Negative and NaN samples are
+// dropped (they have no meaningful bucket). Safe for concurrent use;
+// allocation-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency sample given in nanoseconds, stored in
+// seconds (the Prometheus base unit for time).
+func (h *Histogram) ObserveDuration(ns int64) { h.Observe(float64(ns) / 1e9) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// inside the bucket that holds the target rank. Returns 0 with no
+// observations. The estimate's relative error is bounded by the bucket
+// growth factor (2×): good enough to watch a P99 move, not to bill by.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := 0; i <= histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = histBounds[i-1]
+			}
+			hi := lo * 2
+			if i == 0 {
+				hi = histBounds[0]
+			}
+			if i == histBuckets {
+				// Overflow bucket: no meaningful upper bound, report the
+				// last finite bound.
+				return histBounds[histBuckets-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return histBounds[histBuckets-1]
+}
+
+// formatBound renders a bucket bound compactly for the le label.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// expo renders the Prometheus histogram series: cumulative _bucket lines
+// with le bounds, then _sum and _count. Empty buckets between occupied ones
+// are skipped (cumulative counts stay correct); the +Inf bucket is always
+// present.
+func (h *Histogram) expo(b *strings.Builder, name, labels string) {
+	// Merge the le label into an existing label set.
+	open := "{"
+	if labels != "" {
+		open = labels[:len(labels)-1] + ","
+	}
+	// All counts come from one pass over the buckets, and +Inf/_count are
+	// derived from that same pass, so a concurrent Observe can delay a
+	// sample to the next scrape but never make the cumulative series
+	// non-monotone or _count disagree with the +Inf bucket.
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(b, "%s_bucket%sle=%q} %d\n", name, open, formatBound(histBounds[i]), cum)
+	}
+	cum += h.counts[histBuckets].Load()
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, labels, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, cum)
+}
+
+// expvarValue summarises the histogram for /debug/vars.
+func (h *Histogram) expvarValue() any {
+	return map[string]any{
+		"count": h.Count(),
+		"sum":   h.Sum(),
+		"p50":   h.Quantile(0.50),
+		"p90":   h.Quantile(0.90),
+		"p99":   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,17 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler serves the registry in the Prometheus text exposition format
+// (text/plain; version=0.0.4), suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

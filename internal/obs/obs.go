@@ -1,0 +1,324 @@
+// Package obs is the dependency-free observability layer for the allocator
+// and its serving harness: atomic counters and gauges, log-bucketed latency
+// histograms with quantile estimates, a process-global registry with
+// Prometheus-text and expvar exposition, and a request-lifecycle tracer
+// that emits structured JSONL spans (see tracer.go).
+//
+// TelaMalloc's value claim is tail latency on live accelerator hosts
+// (paper §6, §7): proving that a change helps — or didn't regress — needs
+// stage latency distributions, breaker flaps, and cache efficacy visible
+// while the service runs, not a terminal counter dump after it exits. The
+// package uses only the standard library so the solver's hot path can feed
+// it without pulling a metrics dependency into the allocator.
+//
+// Concurrency and cost contract: Counter.Add, Gauge.Set, and
+// Histogram.Observe are lock-free atomics, safe from any goroutine and
+// cheap enough for per-request paths. Metric construction (Registry.Counter
+// and friends) takes a registry lock and should happen once, at component
+// setup — the public Allocator handle and the server bind their metrics at
+// construction time for exactly this reason.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, rendered as {key="value"} in the
+// Prometheus exposition.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labelled time series inside a family.
+type series interface {
+	// expo appends the exposition lines for this series. name is the family
+	// name, labels the rendered label signature ("" or `{k="v",...}`).
+	expo(b *strings.Builder, name, labels string)
+	// expvarValue returns the series' representation for /debug/vars.
+	expvarValue() any
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	mu     sync.RWMutex
+	series map[string]series
+	order  []string // label signatures in registration order
+}
+
+// Registry holds a set of metric families. The zero value is not usable;
+// build one with NewRegistry or use the process-global Default.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string // family names in registration order
+
+	publish sync.Once
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-global registry. Library-level instrumentation
+// (the solver, the pipeline) registers here unless a component binds its
+// own registry; the daemon exposes it over HTTP.
+func Default() *Registry { return defaultRegistry }
+
+// labelSignature renders labels deterministically: sorted by key, in the
+// exact form the exposition uses. It doubles as the series identity, so
+// the same name+labels always resolves to the same series instance.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// getFamily returns the family for name, creating it on first use. A name
+// reused with a different kind is a programming error and panics: silently
+// splitting one name across types would corrupt the exposition.
+func (r *Registry) getFamily(name, help string, kind metricKind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, series: make(map[string]series)}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// getSeries returns the series for sig, creating it with make on first use.
+// replace controls re-registration: func-backed series replace (last wins,
+// so a rebuilt component can re-point its reader), stateful series are
+// shared (two callers asking for the same counter get the same instance).
+func (f *family) getSeries(sig string, replace bool, make func() series) series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[sig]; ok && !replace {
+		return s
+	}
+	if _, ok := f.series[sig]; !ok {
+		f.order = append(f.order, sig)
+	}
+	s := make()
+	f.series[sig] = s
+	return s
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (d must be >= 0; negative deltas are
+// ignored so a buggy caller cannot make a counter run backwards).
+func (c *Counter) Add(d int64) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) expo(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, c.Value())
+}
+
+func (c *Counter) expvarValue() any { return c.Value() }
+
+// Counter returns the counter for name+labels, registering it on first use.
+// Asking again with the same identity returns the same instance.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.getFamily(name, help, kindCounter)
+	s := f.getSeries(labelSignature(labels), false, func() series { return &Counter{} })
+	return s.(*Counter)
+}
+
+// CounterFunc registers a counter whose value is read from f at exposition
+// time. This is how the server folds its existing atomic Snapshot ledger
+// into /metrics without double-counting: the scrape reads the very atomics
+// the ledger is built from, so the two can never disagree. Re-registering
+// the same identity replaces the reader (last wins).
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	f := r.getFamily(name, help, kindCounter)
+	f.getSeries(labelSignature(labels), true, func() series { return funcSeries{fn} })
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) expo(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, g.Value())
+}
+
+func (g *Gauge) expvarValue() any { return g.Value() }
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.getFamily(name, help, kindGauge)
+	s := f.getSeries(labelSignature(labels), false, func() series { return &Gauge{} })
+	return s.(*Gauge)
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time (queue depth,
+// cache occupancy). Re-registering the same identity replaces the reader.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	f := r.getFamily(name, help, kindGauge)
+	f.getSeries(labelSignature(labels), true, func() series { return funcSeries{fn} })
+}
+
+// funcSeries adapts a read-at-scrape-time function to the series interface.
+type funcSeries struct {
+	fn func() int64
+}
+
+func (s funcSeries) expo(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %d\n", name, labels, s.fn())
+}
+
+func (s funcSeries) expvarValue() any { return s.fn() }
+
+// Histogram returns the histogram for name+labels, registering it on first
+// use. See histogram.go for the bucket layout and quantile contract.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	f := r.getFamily(name, help, kindHistogram)
+	s := f.getSeries(labelSignature(labels), false, func() series { return newHistogram() })
+	return s.(*Histogram)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (families in registration order, series in registration order
+// within a family).
+func (r *Registry) WritePrometheus(b *strings.Builder) {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if f == nil {
+			continue
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.mu.RLock()
+		sigs := append([]string(nil), f.order...)
+		ss := make([]series, 0, len(sigs))
+		for _, sig := range sigs {
+			ss = append(ss, f.series[sig])
+		}
+		f.mu.RUnlock()
+		for i, s := range ss {
+			s.expo(b, f.name, sigs[i])
+		}
+	}
+}
+
+// expvarMap renders the registry as a flat map for /debug/vars: plain
+// metrics map to their value, histograms to {count, sum, p50, p90, p99}.
+func (r *Registry) expvarMap() map[string]any {
+	out := make(map[string]any)
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if f == nil {
+			continue
+		}
+		f.mu.RLock()
+		for _, sig := range f.order {
+			out[f.name+sig] = f.series[sig].expvarValue()
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry under the given expvar name (shown
+// at /debug/vars). Safe to call more than once; only the first call per
+// registry publishes, and a name already taken in the process-wide expvar
+// namespace is left alone rather than panicking.
+func (r *Registry) PublishExpvar(name string) {
+	r.publish.Do(func() {
+		if expvar.Get(name) != nil {
+			return
+		}
+		expvar.Publish(name, expvar.Func(func() any { return r.expvarMap() }))
+	})
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registering the same counter identity must return the same instance")
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge value %d, want 4", got)
+	}
+
+	var nilC *Counter
+	nilC.Inc() // nil-safety: must not panic
+	var nilG *Gauge
+	nilG.Set(1)
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+}
+
+func TestCounterLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("labelled_total", "h", Label{"stage", "greedy"})
+	b := r.Counter("labelled_total", "h", Label{"stage", "search"})
+	if a == b {
+		t.Fatal("different labels must be different series")
+	}
+	a.Add(2)
+	b.Add(3)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`labelled_total{stage="greedy"} 2`,
+		`labelled_total{stage="search"} 3`,
+		"# TYPE labelled_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds must panic")
+		}
+	}()
+	r.Gauge("conflict_total", "h")
+}
+
+func TestFuncMetricsReadAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := int64(1)
+	r.CounterFunc("func_total", "h", func() int64 { return v })
+	r.GaugeFunc("func_gauge", "h", func() int64 { return v * 10 })
+	read := func() string {
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+		return sb.String()
+	}
+	if out := read(); !strings.Contains(out, "func_total 1") || !strings.Contains(out, "func_gauge 10") {
+		t.Fatalf("first scrape wrong:\n%s", out)
+	}
+	v = 42
+	if out := read(); !strings.Contains(out, "func_total 42") || !strings.Contains(out, "func_gauge 420") {
+		t.Fatalf("func metrics must re-read at scrape time:\n%s", out)
+	}
+}
+
+func TestHistogramQuantilesAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h")
+	// 1000 samples spread uniformly over (0, 1]: quantiles should land near
+	// their rank within the 2× bucket error bound.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	if got, want := h.Sum(), 500.5; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum %g, want %g", got, want)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.5}, {0.90, 0.9}, {0.99, 0.99},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%.2f = %g, want within 2x of %g", tc.q, got, tc.want)
+		}
+	}
+	// Degenerate inputs must not corrupt the distribution.
+	h.Observe(math.NaN())
+	h.Observe(-1)
+	if h.Count() != 1000 {
+		t.Fatalf("NaN/negative observations must be dropped, count %d", h.Count())
+	}
+}
+
+func TestHistogramBucketIndexCoversBounds(t *testing.T) {
+	for i, bound := range histBounds {
+		if got := bucketIndex(bound); got != i {
+			t.Errorf("bucketIndex(%g) = %d, want %d (exact bounds belong to their own bucket)", bound, got, i)
+		}
+	}
+	if got := bucketIndex(histBounds[histBuckets-1] * 4); got != histBuckets {
+		t.Errorf("oversized sample landed in bucket %d, want overflow %d", got, histBuckets)
+	}
+}
+
+// parseBuckets extracts (le, cumulative) pairs for one histogram family
+// from a text exposition.
+func parseBuckets(t *testing.T, exposition, name string) (les []float64, cums []int64) {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+"_bucket{") {
+			continue
+		}
+		var le string
+		var cum int64
+		open := strings.Index(line, `le="`)
+		rest := line[open+4:]
+		end := strings.Index(rest, `"`)
+		le = rest[:end]
+		if _, err := fmt.Sscanf(rest[end+2:], "%d", &cum); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if le == "+Inf" {
+			les = append(les, math.Inf(1))
+		} else {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("unparseable le %q: %v", le, err)
+			}
+			les = append(les, v)
+		}
+		cums = append(cums, cum)
+	}
+	return les, cums
+}
+
+func TestHistogramExpositionMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono_seconds", "h", Label{"stage", "search"})
+	for _, v := range []float64{1e-7, 0.001, 0.001, 0.25, 3, 1e9} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	les, cums := parseBuckets(t, out, "mono_seconds")
+	if len(les) < 2 {
+		t.Fatalf("no buckets parsed from:\n%s", out)
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Errorf("le bounds not increasing: %v", les)
+		}
+		if cums[i] < cums[i-1] {
+			t.Errorf("cumulative counts not monotone: %v", cums)
+		}
+	}
+	if !math.IsInf(les[len(les)-1], 1) {
+		t.Error("exposition must end with the +Inf bucket")
+	}
+	if cums[len(cums)-1] != 6 {
+		t.Errorf("+Inf bucket %d, want 6", cums[len(cums)-1])
+	}
+	if !strings.Contains(out, `mono_seconds_count{stage="search"} 6`) {
+		t.Errorf("missing _count line:\n%s", out)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "h")
+	c := r.Counter("race_total", "h")
+
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(i%100) / 1000)
+				c.Inc()
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+			_, cums := parseBuckets(t, sb.String(), "race_seconds")
+			for i := 1; i < len(cums); i++ {
+				if cums[i] < cums[i-1] {
+					t.Errorf("mid-flight scrape non-monotone: %v", cums)
+					return
+				}
+			}
+		}
+	}()
+
+	workers.Wait()
+	close(stop)
+	scraper.Wait()
+	if h.Count() != 20000 || c.Value() != 20000 {
+		t.Fatalf("lost observations: hist %d counter %d, want 20000", h.Count(), c.Value())
+	}
+}
+
+func TestHTTPHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "h").Add(3)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "handler_total 3") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+}

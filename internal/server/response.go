@@ -76,6 +76,10 @@ type Request struct {
 	// it from its own cache on a shape near-miss. Hints are advisory: every
 	// replayed packing is re-validated before being served.
 	Hint *telamalloc.DecisionTrace
+	// TraceID labels this request's spans in the lifecycle trace stream
+	// (Config.Tracer). Empty is fine — spans are still emitted, they are
+	// just not attributable to one request.
+	TraceID string
 }
 
 // Response is the structured per-request report.

@@ -40,6 +40,7 @@ import (
 	"telamalloc/internal/buffers"
 	"telamalloc/internal/cache"
 	"telamalloc/internal/faultinject"
+	"telamalloc/internal/obs"
 	"telamalloc/internal/stats"
 )
 
@@ -92,6 +93,15 @@ type Config struct {
 	// server:hedge, server:drain) and into the pipeline's stage and
 	// solver points. Must be nil in production configurations.
 	Hook func(point string) bool
+	// Obs, when non-nil, routes the server's metrics — queue depth, wait and
+	// service histograms, the func-backed counter ledger — and every solve's
+	// solver/pipeline telemetry into the given registry instead of the
+	// process-global obs.Default().
+	Obs *obs.Registry
+	// Tracer, when non-nil, emits the request-lifecycle span stream
+	// (admit → queue → cache/dedup → stage:<s> → settle under a root
+	// "request" span) as JSON Lines. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +140,7 @@ type Server struct {
 	breakers map[string]*breaker
 	latency  *stats.EWMA
 	counters counters
+	metrics  *serverMetrics
 
 	cache *cache.Cache // nil when Config.CacheSize < 0
 
@@ -182,6 +193,7 @@ func New(cfg Config) *Server {
 	for _, stage := range pipelineStages {
 		s.breakers[stage] = newBreaker(cfg.Breaker)
 	}
+	s.bindMetrics()
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -210,7 +222,19 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	}
 	s.counters.submitted.Add(1)
 	t0 := time.Now()
+	// The root span is opened here and closed on every exit path by the
+	// single End below — the balance invariant (opened == closed after
+	// drain) holds under hedging, cancellation, and contained panics
+	// because no path returns without passing through it.
+	span := s.cfg.Tracer.Start(req.TraceID, "request")
+	resp, err := s.submit(ctx, req, t0)
+	span.Set("outcome", submitOutcome(resp, err))
+	span.End()
+	return resp, err
+}
 
+// submit is Submit's body, running inside the root request span.
+func (s *Server) submit(ctx context.Context, req Request, t0 time.Time) (*Response, error) {
 	starve, herr := s.hookPoint(faultinject.PointServerAdmit)
 	if herr != nil {
 		s.counters.failed.Add(1)
@@ -218,6 +242,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	}
 	if starve {
 		// A starved admission models exhausted admission capacity: shed.
+		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "shed"})
 		return nil, s.shed()
 	}
 
@@ -229,6 +254,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	s.admitMu.RUnlock()
 	if draining {
 		s.counters.rejectedDraining.Add(1)
+		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "draining"})
 		return nil, ErrDraining
 	}
 
@@ -240,17 +266,24 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	}
 	fp, perm := cache.Canonicalize(q)
 
-	if resp := s.cacheLookup(q, fp, perm, t0); resp != nil {
-		s.counters.solved.Add(1)
-		return resp, nil
-	}
-	if s.cache != nil && req.Hint == nil {
-		if e, ok := s.cache.GetShape(fp.ShapeKey, fp.Key); ok {
-			// Same buffers, different capacity: the old packing may still
-			// fit. Ride it down as a hint; the pipeline validates before
-			// trusting it.
-			req.Hint = &telamalloc.DecisionTrace{Winner: e.Winner, Shape: fp.ShapeKey, Offsets: e.Offsets}
+	if s.cache != nil {
+		c0 := time.Now()
+		if resp := s.cacheLookup(q, fp, perm, t0); resp != nil {
+			s.counters.solved.Add(1)
+			s.traceEvent(req.TraceID, "cache", c0, time.Since(c0), map[string]any{"verdict": "hit"})
+			return resp, nil
 		}
+		verdict := "miss"
+		if req.Hint == nil {
+			if e, ok := s.cache.GetShape(fp.ShapeKey, fp.Key); ok {
+				// Same buffers, different capacity: the old packing may still
+				// fit. Ride it down as a hint; the pipeline validates before
+				// trusting it.
+				req.Hint = &telamalloc.DecisionTrace{Winner: e.Winner, Shape: fp.ShapeKey, Offsets: e.Offsets}
+				verdict = "near_hit"
+			}
+		}
+		s.traceEvent(req.TraceID, "cache", c0, time.Since(c0), map[string]any{"verdict": verdict})
 	}
 
 	if s.cfg.DisableDedup {
@@ -347,6 +380,7 @@ func (s *Server) cacheLookup(q *buffers.Problem, fp cache.Fingerprint, perm []in
 // degradation, cancellation, a packing that doesn't validate — sends the
 // follower through the cold path so its verdict is earned, not inherited.
 func (s *Server) awaitFlight(ctx context.Context, f *flight, req Request, q *buffers.Problem, fp cache.Fingerprint, perm []int, t0 time.Time) (*Response, error) {
+	w0 := time.Now()
 	var budgetC <-chan time.Time
 	if budget := s.effectiveBudget(req); budget > 0 {
 		timer := time.NewTimer(budget - time.Since(t0))
@@ -360,6 +394,7 @@ func (s *Server) awaitFlight(ctx context.Context, f *flight, req Request, q *buf
 				(&buffers.Solution{Offsets: offsets}).Validate(q) == nil {
 				s.counters.dedupShared.Add(1)
 				s.counters.solved.Add(1)
+				s.traceEvent(req.TraceID, "dedup", w0, time.Since(w0), map[string]any{"verdict": "shared"})
 				return &Response{
 					Outcome:    OutcomeSolved,
 					Winner:     f.entry.Winner,
@@ -372,6 +407,7 @@ func (s *Server) awaitFlight(ctx context.Context, f *flight, req Request, q *buf
 				}, nil
 			}
 		}
+		s.traceEvent(req.TraceID, "dedup", w0, time.Since(w0), map[string]any{"verdict": "cold"})
 		return s.submitQueued(ctx, req, t0, fp, perm)
 	case <-ctx.Done():
 		s.counters.cancelled.Add(1)
@@ -409,16 +445,19 @@ func (s *Server) submitQueued(ctx context.Context, req Request, t0 time.Time, fp
 		j.stop()
 		cancel()
 		s.counters.rejectedDraining.Add(1)
+		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "draining"})
 		return nil, ErrDraining
 	}
 	select {
 	case s.queue <- j:
 		s.admitMu.RUnlock()
 		s.counters.admitted.Add(1)
+		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "admitted"})
 	default:
 		s.admitMu.RUnlock()
 		j.stop()
 		cancel()
+		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "shed"})
 		return nil, s.shed()
 	}
 
@@ -511,16 +550,20 @@ func (s *Server) serveJob(j *job) {
 	defer j.stop()
 	defer j.cancel()
 	wait := time.Since(j.submitted)
+	s.metrics.queueWait.ObserveDuration(wait.Nanoseconds())
+	s.traceEvent(j.req.TraceID, "queue", j.submitted, wait, nil)
 	start := time.Now()
 	resp, err := s.runJob(j, wait)
 	elapsed := time.Since(start)
 	s.latency.Observe(float64(elapsed))
+	s.metrics.service.ObserveDuration(elapsed.Nanoseconds())
 	if resp != nil {
 		resp.QueueWait = wait
 		resp.Elapsed = elapsed
 	}
 	j.resp, j.err = resp, err
-	if j.settle() {
+	delivered := j.settle()
+	if delivered {
 		if resp != nil && resp.HintReplayed {
 			s.counters.hintReplays.Add(1)
 		}
@@ -537,6 +580,26 @@ func (s *Server) serveJob(j *job) {
 		default:
 			s.counters.failed.Add(1)
 		}
+	}
+	if s.cfg.Tracer != nil {
+		attrs := map[string]any{
+			"outcome": submitOutcome(resp, err),
+			// delivered=false means the caller's cancellation path won the
+			// settle race and this verdict was discarded.
+			"delivered": delivered,
+		}
+		if resp != nil {
+			if resp.Winner != "" {
+				attrs["winner"] = resp.Winner
+			}
+			if resp.HedgeWon {
+				attrs["hedge_won"] = true
+			}
+			if len(resp.SkippedByBreaker) > 0 {
+				attrs["skipped_by_breaker"] = resp.SkippedByBreaker
+			}
+		}
+		s.traceEvent(j.req.TraceID, "settle", start, elapsed, attrs)
 	}
 	close(j.done)
 }
@@ -606,6 +669,9 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 	if j.req.Hint != nil {
 		opts = append(opts, telamalloc.WithHints(j.req.Hint))
 	}
+	if s.cfg.Obs != nil {
+		opts = append(opts, telamalloc.WithObservability(s.cfg.Obs))
+	}
 
 	ch := make(chan attempt, 2)
 	s.bgWG.Add(1)
@@ -626,6 +692,7 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 		}()
 		res, perr := telamalloc.AllocatePipeline(j.req.Problem, opts...)
 		s.observeBreakers(decisions, res)
+		s.traceStages(j.req.TraceID, res)
 		ch <- attempt{main: true, resp: responseFrom(res, perr, skipped), err: perr}
 	}()
 	hedgePending := s.cfg.Hedge

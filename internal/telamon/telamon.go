@@ -160,6 +160,15 @@ type Options struct {
 	// are contained by core.Solve's recovery boundary. Test-only: must be
 	// nil in production configurations.
 	TestHook func() bool
+	// OnSample, when non-nil, receives the number of steps taken since the
+	// previous sample. It fires on the same call-counter stride as the
+	// deadline/cancellation polls — at most once per budgetPollStride
+	// budget checks, plus a final flush when the search returns — so live
+	// observers (the obs layer's solver counters) see search progress
+	// without the hot loop allocating, locking, or branching per step. It
+	// runs on the search goroutine; implementations must be cheap and safe
+	// to call from concurrent subproblem workers (an atomic add).
+	OnSample func(stepsDelta int64)
 }
 
 func (o Options) stuckThreshold() int {
@@ -220,6 +229,13 @@ func Search(p *buffers.Problem, ov *buffers.Overlaps, policy Policy, opts Option
 	}
 	s := &searcher{st: st, policy: policy, opts: opts}
 	res := s.run()
+	if opts.OnSample != nil {
+		// Final flush: whatever the stride did not report yet, so sampled
+		// totals converge to the exact step count once the search returns.
+		if d := st.Stats.Steps - s.sampled; d > 0 {
+			opts.OnSample(d)
+		}
+	}
 	res.Stats = st.Stats
 	res.Stats.SolverStats = st.Model.Stats()
 	return res
@@ -239,6 +255,8 @@ type searcher struct {
 	// stop latches the terminal status once a budget check fires, so
 	// every later check returns the same verdict without re-polling.
 	stop Status
+	// sampled is the step count already reported through opts.OnSample.
+	sampled int64
 }
 
 // budgetPollStride is how many outOfBudget calls pass between time/cancel
@@ -263,6 +281,15 @@ func (s *searcher) outOfBudget() bool {
 	}
 	s.checks++
 	if s.checks%budgetPollStride == 1 {
+		// The sample rides the poll stride: one predicted branch per check
+		// in the common case, one callback per stride when progress was
+		// made — the hot loop stays allocation-free with observers on.
+		if s.opts.OnSample != nil {
+			if d := s.st.Stats.Steps - s.sampled; d > 0 {
+				s.opts.OnSample(d)
+				s.sampled = s.st.Stats.Steps
+			}
+		}
 		if s.opts.Cancel != nil && s.opts.Cancel() {
 			s.stop = Cancelled
 			return true

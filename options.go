@@ -2,6 +2,7 @@ package telamalloc
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"telamalloc/internal/gbt"
 	"telamalloc/internal/ilp"
 	"telamalloc/internal/mlpolicy"
+	"telamalloc/internal/obs"
 )
 
 // Option configures Allocate and AllocatePipeline.
@@ -30,6 +32,7 @@ type config struct {
 	ctx     context.Context
 	pipe    pipelineConfig
 	hint    *DecisionTrace
+	obsReg  *obs.Registry
 }
 
 func buildConfig(opts []Option) config {
@@ -38,6 +41,95 @@ func buildConfig(opts []Option) config {
 		o(&c)
 	}
 	return c
+}
+
+// registry resolves the metrics registry this config reports into.
+func (c *config) registry() *obs.Registry {
+	if c.obsReg != nil {
+		return c.obsReg
+	}
+	return obs.Default()
+}
+
+// clone returns a copy safe to specialise with per-call options: the one
+// mutable shared structure (the stage-share map) is deep-copied so a
+// call-scoped WithStageShare cannot leak into the handle it came from.
+func (c config) clone() config {
+	if c.pipe.shares != nil {
+		shares := make(map[string]float64, len(c.pipe.shares))
+		for k, v := range c.pipe.shares {
+			shares[k] = v
+		}
+		c.pipe.shares = shares
+	}
+	return c
+}
+
+// validate rejects structurally invalid configurations. It runs at
+// Allocator construction (New), so a bad option list fails once, loudly,
+// instead of failing every call — or worse, being silently reinterpreted.
+func (c *config) validate() error {
+	if c.timeout < 0 {
+		return fmt.Errorf("%w: negative timeout %v", ErrInvalidProblem, c.timeout)
+	}
+	if c.core.MaxSteps < 0 {
+		return fmt.Errorf("%w: negative step budget %d", ErrInvalidProblem, c.core.MaxSteps)
+	}
+	if c.pipe.stages != nil {
+		if err := validateLadder(c.pipe.stages); err != nil {
+			return err
+		}
+	}
+	for stage, share := range c.pipe.shares {
+		switch stage {
+		case StageGreedy, StageBestFit, StageSearch, StageSpill:
+		default:
+			return fmt.Errorf("%w: stage share for unknown stage %q", ErrInvalidProblem, stage)
+		}
+		if share < 0 {
+			return fmt.Errorf("%w: negative stage share %g for %q", ErrInvalidProblem, share, stage)
+		}
+	}
+	if c.pipe.maxSpills < 0 {
+		return fmt.Errorf("%w: negative spill cap %d", ErrInvalidProblem, c.pipe.maxSpills)
+	}
+	if c.gate != nil && c.gateThreshold > 1 {
+		return fmt.Errorf("%w: step-gate threshold %g is not a probability", ErrInvalidProblem, c.gateThreshold)
+	}
+	return nil
+}
+
+// bindContext merges the call context into the config under the Allocator's
+// earliest-wins deadline rule (see the Allocator doc comment). When both a
+// WithContext context and a call context exist, the older one moves onto the
+// cooperative-cancellation path so both are polled and whichever ends first
+// stops the solve.
+func (c *config) bindContext(ctx context.Context) {
+	if ctx == nil || ctx == context.Background() {
+		return
+	}
+	if c.ctx != nil {
+		prev := c.core.Cancel
+		done := c.ctx.Done()
+		c.core.Cancel = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+			}
+			return prev != nil && prev()
+		}
+	}
+	c.ctx = ctx
+}
+
+// WithObservability routes the allocation's telemetry — solver effort
+// counters, per-stage histograms, the live sampled step counter — into r
+// instead of the process-global obs.Default() registry. Pass a dedicated
+// registry when embedding several independently-monitored allocators in one
+// process, or in tests that assert on exact counter values.
+func WithObservability(r *obs.Registry) Option {
+	return func(c *config) { c.obsReg = r }
 }
 
 // WithMaxSteps caps the number of placement attempts (0 = unlimited).
@@ -187,6 +279,7 @@ func WithStepGate(m *StepGateModel, threshold float64) Option {
 // context) once the internal problem exists and the solve is beginning.
 func (c *config) finalize(q *buffers.Problem) core.Config {
 	cfg := c.core
+	cfg.Obs = c.obsReg
 	if c.hint != nil {
 		cfg.Hint = c.hintSolution(q)
 	}

@@ -1,6 +1,7 @@
 package telamalloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -186,8 +187,18 @@ type PipelineResult struct {
 // same validity contract as Allocate) or a spill-degraded one (Degraded
 // true). On failure the error wraps exactly one public sentinel and
 // PipelineResult still carries the per-stage evidence.
+//
+// AllocatePipeline is a thin wrapper over a shared zero-option [Allocator]
+// handle; programs making repeated calls with the same options should build
+// their own handle with [New] and call [Allocator.Pipeline].
 func AllocatePipeline(p Problem, opts ...Option) (PipelineResult, error) {
-	c := buildConfig(opts)
+	return defaultHandle().Pipeline(context.Background(), p, opts...)
+}
+
+// pipelineWith runs one ladder pass under an already-validated config,
+// recording per-stage telemetry into pm.
+func pipelineWith(c config, pm *pipelineMetrics, p Problem) (PipelineResult, error) {
+	pm.runs.Inc()
 	q := toInternal(p)
 	out := PipelineResult{Memory: p.Memory}
 	if err := q.Validate(); err != nil {
@@ -231,6 +242,7 @@ func AllocatePipeline(p Problem, opts ...Option) (PipelineResult, error) {
 	// the cold ladder below runs exactly as if no hint existed.
 	if !infeasible && c.hint != nil {
 		if sol := replayTrace(c.hint, q, fp, perm); sol != nil {
+			pm.replays.Inc()
 			out.Winner = c.hint.Winner
 			out.Solution = Solution{Offsets: sol.Offsets}
 			out.HintReplayed = true
@@ -246,7 +258,7 @@ func AllocatePipeline(p Problem, opts ...Option) (PipelineResult, error) {
 		}
 	}
 
-	run := newLadderRun(c, q, ladder, stepPot, globalDeadline)
+	run := newLadderRun(c, pm, q, ladder, stepPot, globalDeadline)
 	for i, stage := range ladder {
 		if err := run.ctxErr(); err != nil {
 			run.skipFrom(i, "pipeline cancelled")
@@ -266,6 +278,7 @@ func AllocatePipeline(p Problem, opts ...Option) (PipelineResult, error) {
 			if plan != nil {
 				out.Spill = plan
 				out.Degraded = len(plan.Spilled) > 0
+				pm.spilled.Add(int64(len(plan.Spilled)))
 			}
 			if !out.Degraded {
 				out.Trace = &DecisionTrace{
@@ -335,6 +348,7 @@ func validateLadder(ladder []string) error {
 // reports, and the configuration shared by all stages.
 type ladderRun struct {
 	c              config
+	pm             *pipelineMetrics
 	q              *buffers.Problem
 	ladder         []string
 	remainingSteps int64
@@ -343,8 +357,8 @@ type ladderRun struct {
 	started        int // stages run or skipped so far
 }
 
-func newLadderRun(c config, q *buffers.Problem, ladder []string, pot int64, deadline time.Time) *ladderRun {
-	return &ladderRun{c: c, q: q, ladder: ladder, remainingSteps: pot, globalDeadline: deadline}
+func newLadderRun(c config, pm *pipelineMetrics, q *buffers.Problem, ladder []string, pot int64, deadline time.Time) *ladderRun {
+	return &ladderRun{c: c, pm: pm, q: q, ladder: ladder, remainingSteps: pot, globalDeadline: deadline}
 }
 
 func (lr *ladderRun) ctxErr() error {
@@ -397,6 +411,9 @@ func (lr *ladderRun) carve(stage string) (steps int64, deadline time.Time) {
 
 // skip records a stage that never ran.
 func (lr *ladderRun) skip(stage, reason string) {
+	if sm := lr.pm.stages[stage]; sm != nil {
+		sm.skipped.Inc()
+	}
 	lr.reports = append(lr.reports, StageReport{Stage: stage, Skipped: true, SkipReason: reason})
 	lr.started++
 }
@@ -439,6 +456,16 @@ func (lr *ladderRun) runStage(stage string) (rep StageReport, sol *buffers.Solut
 		lr.remainingSteps -= rep.Stats.Steps
 		if lr.remainingSteps < 1 {
 			lr.remainingSteps = 1 // a zero pot would read as "unlimited"
+		}
+	}
+	if sm := lr.pm.stages[stage]; sm != nil {
+		sm.seconds.ObserveDuration(rep.Elapsed.Nanoseconds())
+		sm.steps.Add(rep.Stats.Steps)
+		sm.budget.Add(rep.StepBudget)
+		if sol != nil {
+			sm.won.Inc()
+		} else {
+			sm.failed.Inc()
 		}
 	}
 	lr.reports = append(lr.reports, rep)

@@ -20,6 +20,7 @@
 package telamalloc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -107,8 +108,16 @@ func toInternal(p Problem) *buffers.Problem {
 // Allocate packs the problem's buffers into memory with TelaMalloc.
 // A nil error guarantees the returned solution is valid: every buffer in
 // bounds, aligned, and disjoint from temporal neighbours.
+//
+// Allocate is a thin wrapper over a shared zero-option [Allocator] handle;
+// programs making repeated calls with the same options should build their
+// own handle with [New] so option validation and model binding happen once.
 func Allocate(p Problem, opts ...Option) (Solution, Stats, error) {
-	cfg := buildConfig(opts)
+	return defaultHandle().Allocate(context.Background(), p, opts...)
+}
+
+// allocateWith runs one allocation under an already-validated config.
+func allocateWith(cfg config, p Problem) (Solution, Stats, error) {
 	q := toInternal(p)
 	if err := q.Validate(); err != nil {
 		return Solution{}, Stats{}, fmt.Errorf("%w: %v", ErrInvalidProblem, err)
