@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak
+.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak chaossoak
 
 ## ci: the full verification gate — lint, build, the test suite under the
 ## race detector (the parallel subproblem solver makes -race mandatory),
 ## the fault-injection suite re-run under -race, the serving-layer soak,
-## the solution-cache soak, the observability soak, and a fuzz smoke of the
-## public API.
-ci: lint build race faultrace soak cachesoak obssoak fuzz
+## the solution-cache soak, the observability soak, the subprocess chaos
+## soak, and a fuzz smoke of the public API.
+ci: lint build race faultrace soak cachesoak obssoak chaossoak fuzz
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ lint: vet
 		echo "$$bad"; \
 		exit 1; \
 	fi
+	@bad=$$(grep -n 'time\.Sleep(' internal/client/*.go | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: bare time.Sleep is banned in internal/client (use the jittered"; \
+		echo "lint: backoff helpers — fixed sleeps turn a shed fleet into a retry herd):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
 
 ## soak: the serving-layer robustness suite under the race detector —
 ## concurrent clients against internal/server with faults armed: exactly one
@@ -62,6 +69,15 @@ cachesoak:
 ## accounting must balance with zero drops. See DESIGN.md §11.
 obssoak:
 	$(GO) test -race -count=1 -run 'TestObsSoak|TestMetricsScrapeMatchesSnapshot|TestTraceSpanBalance' ./internal/server
+
+## chaossoak: the crash/restart acceptance soak under the race detector — a
+## real daemon subprocess killed -9 and restarted mid-flood while a client
+## fleet hammers it: every request must end in exactly one of {solved,
+## degraded, typed error}, and a SIGTERM drain must complete within
+## -drain-timeout with slowloris, idle, and long-solving connections armed.
+## See DESIGN.md §13.
+chaossoak:
+	TELAMALLOC_CHAOSSOAK=1 $(GO) test -race -count=1 -run TestChaosSoak -timeout 300s ./cmd/telamallocd
 
 ## faultrace: the deterministic fault-injection harness (injected panics,
 ## stalls, budget starvation) under the race detector — the containment

@@ -1,0 +1,396 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"telamalloc/internal/faultinject"
+	"telamalloc/internal/server"
+	"telamalloc/internal/wire"
+)
+
+// harness runs a tcpDaemon on an ephemeral port for one test.
+type harness struct {
+	d    *tcpDaemon
+	hlt  *health
+	addr string
+
+	done    chan error
+	waitMu  sync.Mutex
+	waited  bool
+	waitErr error
+}
+
+// startDaemon boots a daemon with the given server config and connection
+// limits. hook may be nil. The test owns shutdown via h.shutdown(t).
+func startDaemon(t *testing.T, srvCfg server.Config, idle time.Duration, maxConns, maxLine int, drainTO time.Duration, hook func(string) bool) *harness {
+	t.Helper()
+	if srvCfg.Workers == 0 {
+		srvCfg.Workers = 2
+	}
+	if srvCfg.QueueDepth == 0 {
+		srvCfg.QueueDepth = 16
+	}
+	srv := server.New(srvCfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hlt := &health{}
+	d := newTCPDaemon(srv, ln, hlt, idle, maxConns, maxLine, drainTO)
+	d.hook = hook
+	hlt.setReady(true)
+	h := &harness{d: d, hlt: hlt, addr: ln.Addr().String(), done: make(chan error, 1)}
+	go func() { h.done <- d.run() }()
+	t.Cleanup(func() {
+		d.shutdownNow()
+		h.wait(t)
+	})
+	return h
+}
+
+// wait blocks until run() returns (memoized — safe to call twice).
+func (h *harness) wait(t *testing.T) error {
+	t.Helper()
+	h.waitMu.Lock()
+	defer h.waitMu.Unlock()
+	if h.waited {
+		return h.waitErr
+	}
+	select {
+	case h.waitErr = <-h.done:
+		h.waited = true
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not stop within 15s: shutdown is unbounded")
+	}
+	return h.waitErr
+}
+
+func (h *harness) dial(t *testing.T) *net.TCPConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", h.addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", h.addr, err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn.(*net.TCPConn)
+}
+
+// waitConns polls until n connections hold slots — i.e. the accept loop has
+// admitted them — so a test can race shutdown against *served* connections
+// rather than against the accept loop itself.
+func (h *harness) waitConns(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(h.d.sem) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon holds %d connection slots, want %d", len(h.d.sem), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const solveLine = `{"id":"%s","memory":8,"buffers":[{"start":0,"end":4,"size":4},{"start":4,"end":8,"size":4}]}` + "\n"
+
+// readReport reads one report line from conn with a deadline.
+func readReport(t *testing.T, conn net.Conn) wireResponse {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading report: %v (got %q)", err, line)
+	}
+	var resp wireResponse
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("unparseable report %q: %v", line, err)
+	}
+	return resp
+}
+
+// readReports drains conn to EOF (or error) and returns every report line.
+func readReports(t *testing.T, conn net.Conn) []wireResponse {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var out []wireResponse
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var resp wireResponse
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("unparseable report %q: %v", sc.Text(), err)
+		}
+		out = append(out, resp)
+	}
+	return out
+}
+
+func TestConnLimitShedsTyped(t *testing.T) {
+	h := startDaemon(t, server.Config{}, 0, 1, 0, time.Second, nil)
+
+	// First connection takes the only slot and must keep working.
+	c1 := h.dial(t)
+	h.waitConns(t, 1)
+
+	// Second connection is shed with one typed report, then closed.
+	c2 := h.dial(t)
+	shed := readReport(t, c2)
+	if shed.Outcome != wire.OutcomeShed || shed.ErrorCode != wire.CodeTooManyConnections {
+		t.Errorf("over-limit connection got %+v, want shed/too_many_connections", shed)
+	}
+	if shed.RetryAfterMS <= 0 {
+		t.Errorf("shed connection report missing retry_after_ms: %+v", shed)
+	}
+	if extra := readReports(t, c2); len(extra) != 0 {
+		t.Errorf("shed connection got %d extra reports: %v", len(extra), extra)
+	}
+
+	// Shedding the second connection must not disturb the first.
+	fmt.Fprintf(c1, solveLine, "keep")
+	if got := readReport(t, c1); got.Outcome != wire.OutcomeSolved {
+		t.Errorf("held connection got %+v, want solved", got)
+	}
+
+	// Releasing the slot frees it for a new connection.
+	c1.Close()
+	h.waitConns(t, 0)
+	c3 := h.dial(t)
+	fmt.Fprintf(c3, solveLine, "again")
+	if got := readReport(t, c3); got.Outcome != wire.OutcomeSolved {
+		t.Errorf("post-release connection got %+v, want solved", got)
+	}
+}
+
+func TestIdleConnectionTimesOutTyped(t *testing.T) {
+	h := startDaemon(t, server.Config{}, 50*time.Millisecond, 4, 0, time.Second, nil)
+	conn := h.dial(t)
+	got := readReport(t, conn) // just wait: the daemon must hang up on us
+	if got.Outcome != wire.OutcomeRejected || got.ErrorCode != wire.CodeIdleTimeout {
+		t.Errorf("idle connection got %+v, want rejected/idle_timeout", got)
+	}
+	if extra := readReports(t, conn); len(extra) != 0 {
+		t.Errorf("idle connection got %d reports after the timeout: %v", len(extra), extra)
+	}
+}
+
+func TestIdleTimeoutMeasuresSilence(t *testing.T) {
+	// Traffic resets the idle window: a connection issuing requests more
+	// often than the timeout must never be reaped.
+	h := startDaemon(t, server.Config{}, 120*time.Millisecond, 4, 0, time.Second, nil)
+	conn := h.dial(t)
+	for i := 0; i < 5; i++ {
+		time.Sleep(60 * time.Millisecond)
+		fmt.Fprintf(conn, solveLine, fmt.Sprintf("r%d", i))
+		if got := readReport(t, conn); got.Outcome != wire.OutcomeSolved {
+			t.Fatalf("request %d on an active connection got %+v, want solved", i, got)
+		}
+	}
+}
+
+func TestOversizedLineRejectedTyped(t *testing.T) {
+	h := startDaemon(t, server.Config{}, 0, 4, 1<<16, time.Second, nil)
+	conn := h.dial(t)
+	// Write far past the cap without a newline; the write runs concurrently
+	// because the daemon stops reading once the scanner overflows.
+	go func() {
+		junk := strings.Repeat("a", 1<<18)
+		conn.Write([]byte(junk))
+	}()
+	got := readReport(t, conn)
+	if got.Outcome != wire.OutcomeRejected || got.ErrorCode != wire.CodeLineTooLong {
+		t.Errorf("oversized line got %+v, want rejected/line_too_long", got)
+	}
+}
+
+func TestMidLineDisconnectRejectedTyped(t *testing.T) {
+	h := startDaemon(t, server.Config{}, 0, 4, 0, time.Second, nil)
+	conn := h.dial(t)
+	// A half-written request followed by FIN: the fragment must surface as
+	// a typed truncated_line rejection, never be parsed as a request.
+	if _, err := conn.Write([]byte(`{"id":"half","memory":8`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	got := readReport(t, conn)
+	if got.Outcome != wire.OutcomeRejected || got.ErrorCode != wire.CodeTruncatedLine {
+		t.Errorf("mid-line disconnect got %+v, want rejected/truncated_line", got)
+	}
+}
+
+// TestShutdownDrainsMixedConnections is the drain-hang regression test: a
+// SIGTERM-equivalent shutdown must complete within DrainTimeout with a mix
+// of idle, half-written, and mid-request connections open. The idle and
+// half-written connections previously wedged wg.Wait() forever — their
+// scanners sat in Read with no deadline and no shutdown signal.
+func TestShutdownDrainsMixedConnections(t *testing.T) {
+	gate := make(chan struct{})
+	arrived := make(chan struct{})
+	var arrivedOnce sync.Once
+	hook := func(point string) bool {
+		if point == faultinject.PointServerDequeue {
+			arrivedOnce.Do(func() { close(arrived) })
+			<-gate // parks the mid-request job until the test releases it
+		}
+		return false
+	}
+	h := startDaemon(t, server.Config{Workers: 1, Hook: hook}, 0, 8, 0, 2*time.Second, nil)
+
+	idle := h.dial(t)
+	half := h.dial(t)
+	mid := h.dial(t)
+	h.waitConns(t, 3)
+	if _, err := half.Write([]byte(`{"id":"half","memory":8`)); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(mid, solveLine, "inflight")
+	select {
+	case <-arrived: // the request is in a worker, parked at the gate
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never reached a worker")
+	}
+
+	start := time.Now()
+	h.d.shutdownNow()
+
+	// The idle and half-written connections must learn about the shutdown
+	// immediately — while the in-flight job is still parked — proving
+	// connection teardown does not wait on the drain.
+	for name, conn := range map[string]net.Conn{"idle": idle, "half-written": half} {
+		got := readReport(t, conn)
+		if got.Outcome != wire.OutcomeRejected || got.ErrorCode != wire.CodeShuttingDown {
+			t.Errorf("%s connection got %+v, want rejected/shutting_down", name, got)
+		}
+	}
+
+	// Release the parked job; it must still reach a terminal outcome and
+	// deliver its report on the (still open) connection.
+	close(gate)
+	outcomes := map[string]string{}
+	for _, r := range readReports(t, mid) {
+		outcomes[r.ID] = r.Outcome
+	}
+	if outcomes["inflight"] != wire.OutcomeSolved {
+		t.Errorf("in-flight request ended %q, want solved (reports: %v)", outcomes["inflight"], outcomes)
+	}
+
+	if err := h.wait(t); err != nil {
+		t.Errorf("drain with mixed connections returned %v, want clean nil", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("shutdown took %v; the drain bound is not holding", elapsed)
+	}
+}
+
+// TestShutdownForceCancelsStuckWork: a non-cooperative stall (a wedged
+// policy, modeled by a solver-point stall fault) cannot finish inside
+// DrainTimeout, so the drain must force-cancel it and report ErrDrainTimeout
+// — the exit-code-3 path — instead of hanging.
+func TestShutdownForceCancelsStuckWork(t *testing.T) {
+	inj := faultinject.New(faultinject.Fault{Point: "group0", Kind: faultinject.Stall, StallFor: 900 * time.Millisecond})
+	h := startDaemon(t, server.Config{Workers: 1, Hook: inj.Hook}, 0, 4, 0, 150*time.Millisecond, nil)
+
+	conn := h.dial(t)
+	// Concurrent 7-in-64 buffers: defeats the heuristics, so the solve
+	// enters the search and hits the stalled group0 point.
+	var bufs []string
+	for i := 0; i < 30; i++ {
+		bufs = append(bufs, `{"start":0,"end":10,"size":7}`)
+	}
+	fmt.Fprintf(conn, `{"id":"stuck","memory":64,"buffers":[%s]}`+"\n", strings.Join(bufs, ","))
+
+	// Wait for the stall to arm so shutdown races a genuinely wedged solve.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(inj.Fired()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall fault never fired; the request did not reach the solver")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h.d.shutdownNow()
+	err := h.wait(t)
+	if !errors.Is(err, server.ErrDrainTimeout) {
+		t.Errorf("drain against a wedged solve returned %v, want ErrDrainTimeout", err)
+	}
+
+	// The wedged request still ends in exactly one terminal outcome.
+	outcomes := map[string]string{}
+	for _, r := range readReports(t, conn) {
+		if r.ID != "" {
+			outcomes[r.ID] = r.Outcome
+		}
+	}
+	switch outcomes["stuck"] {
+	case wire.OutcomeCancelled, wire.OutcomeFailed, wire.OutcomeDegraded, wire.OutcomeSolved:
+	default:
+		t.Errorf("force-cancelled request ended %q, want a terminal outcome (reports: %v)", outcomes["stuck"], outcomes)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	h := startDaemon(t, server.Config{}, 0, 4, 0, time.Second, nil)
+	mux := obsMux(h.hlt)
+	get := func(path string) int {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz while serving = %d, want 200", code)
+	}
+
+	h.d.shutdownNow()
+
+	// Readiness flips with the shutdown — and liveness does not: a draining
+	// daemon is still alive, just not accepting new work.
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200", code)
+	}
+	if conn, err := net.DialTimeout("tcp", h.addr, time.Second); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after shutdown began")
+	}
+}
+
+func TestAcceptStarveShedsConnection(t *testing.T) {
+	inj := faultinject.New(faultinject.Fault{Point: faultinject.PointConnAccept, Kind: faultinject.Starve})
+	h := startDaemon(t, server.Config{}, 0, 8, 0, time.Second, inj.Hook)
+	conn := h.dial(t)
+	got := readReport(t, conn)
+	if got.Outcome != wire.OutcomeShed || got.ErrorCode != wire.CodeTooManyConnections {
+		t.Errorf("starved accept got %+v, want shed/too_many_connections", got)
+	}
+}
+
+func TestReadStarveSynthesizesIdleTimeout(t *testing.T) {
+	inj := faultinject.New(faultinject.Fault{Point: faultinject.PointConnRead, Kind: faultinject.Starve})
+	// Idle timeout of an hour: the typed report must come from the injected
+	// fault, not the real clock.
+	h := startDaemon(t, server.Config{}, time.Hour, 8, 0, time.Second, inj.Hook)
+	conn := h.dial(t)
+	got := readReport(t, conn)
+	if got.Outcome != wire.OutcomeRejected || got.ErrorCode != wire.CodeIdleTimeout {
+		t.Errorf("starved read got %+v, want rejected/idle_timeout", got)
+	}
+}

@@ -36,10 +36,19 @@
 // error_code "unsupported_version" — never a silent misinterpretation.
 //
 // With -metrics-addr the daemon serves its observability surface over HTTP:
-// Prometheus metrics at /metrics, the expvar JSON dump at /debug/vars, and
-// the pprof profiles under /debug/pprof/. With -trace-file every request's
-// lifecycle spans (admit → queue → cache/dedup → stage:<s> → settle) are
-// appended to the given file as JSON Lines.
+// Prometheus metrics at /metrics, liveness at /healthz, readiness at
+// /readyz (503 the moment draining begins, before the listener closes),
+// the expvar JSON dump at /debug/vars, and the pprof profiles under
+// /debug/pprof/. With -trace-file every request's lifecycle spans (admit →
+// queue → cache/dedup → stage:<s> → settle) are appended to the given file
+// as JSON Lines.
+//
+// In -listen mode each connection reads under an -idle-timeout deadline,
+// -max-conns bounds concurrency (excess connections are shed with a typed
+// report), and scanner failures — oversized or truncated lines, idle
+// reaps, shutdown — emit one final typed rejection before the connection
+// closes. -watchdog-multiple arms the server's solve watchdog
+// (DESIGN.md §13).
 //
 // On stdin EOF (or SIGINT/SIGTERM in -listen mode) the daemon drains
 // gracefully — stops admitting, finishes or cancels in-flight work within
@@ -68,50 +77,20 @@ import (
 	"telamalloc"
 	"telamalloc/internal/obs"
 	"telamalloc/internal/server"
+	"telamalloc/internal/wire"
 )
 
 // wireVersion is the line protocol version this daemon speaks. Requests may
-// omit "v" (treated as 1); any other value is rejected up front.
-const wireVersion = 1
+// omit "v" (treated as 1); any other value is rejected up front. The schema
+// itself lives in internal/wire, shared with internal/client so both ends
+// marshal against the same struct.
+const wireVersion = wire.Version
 
-type wireBuffer struct {
-	Start int64 `json:"start"`
-	End   int64 `json:"end"`
-	Size  int64 `json:"size"`
-	Align int64 `json:"align,omitempty"`
-}
-
-type wireRequest struct {
-	V         int          `json:"v,omitempty"`
-	ID        string       `json:"id,omitempty"`
-	Name      string       `json:"name,omitempty"`
-	Memory    int64        `json:"memory"`
-	Buffers   []wireBuffer `json:"buffers"`
-	MaxSteps  int64        `json:"max_steps,omitempty"`
-	TimeoutMS int64        `json:"timeout_ms,omitempty"`
-}
-
-type wireResponse struct {
-	V                int      `json:"v"`
-	ID               string   `json:"id,omitempty"`
-	Outcome          string   `json:"outcome"`
-	ErrorCode        string   `json:"error_code,omitempty"`
-	Winner           string   `json:"winner,omitempty"`
-	Offsets          []int64  `json:"offsets,omitempty"`
-	Spilled          []int    `json:"spilled,omitempty"`
-	SpillCost        int64    `json:"spill_cost,omitempty"`
-	LowerBound       int64    `json:"lower_bound,omitempty"`
-	Memory           int64    `json:"memory,omitempty"`
-	SkippedByBreaker []string `json:"skipped_by_breaker,omitempty"`
-	HedgeWon         bool     `json:"hedge_won,omitempty"`
-	CacheHit         bool     `json:"cache_hit,omitempty"`
-	Deduped          bool     `json:"deduped,omitempty"`
-	HintReplayed     bool     `json:"hint_replayed,omitempty"`
-	QueueWaitMS      float64  `json:"queue_wait_ms,omitempty"`
-	ElapsedMS        float64  `json:"elapsed_ms,omitempty"`
-	RetryAfterMS     float64  `json:"retry_after_ms,omitempty"`
-	Error            string   `json:"error,omitempty"`
-}
+type (
+	wireBuffer   = wire.Buffer
+	wireRequest  = wire.Request
+	wireResponse = wire.Response
+)
 
 func main() {
 	var (
@@ -128,7 +107,11 @@ func main() {
 		drainTO      = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain deadline on shutdown")
 		cacheSize    = flag.Int("cache-size", 256, "solution cache capacity in entries (0 disables caching)")
 		noDedup      = flag.Bool("no-dedup", false, "disable singleflight deduplication of concurrent identical requests")
-		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /debug/vars and /debug/pprof/ (empty = off)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "close a -listen connection after this long without a completed read (0 = never)")
+		maxConns     = flag.Int("max-conns", 256, "concurrent -listen connections; excess connections are shed with a typed report")
+		maxLine      = flag.Int("max-line", 1<<26, "largest accepted request line in bytes")
+		wdMultiple   = flag.Float64("watchdog-multiple", 0, "force-cancel a solve exceeding this multiple of its budget (0 = off)")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz, /readyz, /debug/vars and /debug/pprof/ (empty = off)")
 		traceFile    = flag.String("trace-file", "", "append request lifecycle spans to this file as JSON Lines (empty = off)")
 		quiet        = flag.Bool("q", false, "suppress the counters summary on shutdown")
 	)
@@ -151,24 +134,15 @@ func main() {
 		}
 	}
 
+	hlt := &health{}
 	if *metricsAddr != "" {
-		reg := obs.Default()
-		reg.PublishExpvar("telamalloc")
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
-		mux.Handle("/debug/vars", expvar.Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "telamallocd: -metrics-addr: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "telamallocd: observability on http://%s/metrics\n", mln.Addr())
-		go func() { _ = http.Serve(mln, mux) }()
+		go func() { _ = http.Serve(mln, obsMux(hlt)) }()
 	}
 
 	cacheCfg := *cacheSize
@@ -190,20 +164,28 @@ func main() {
 			Cooldown:  *brkCooldown,
 			SlowStage: *slowStage,
 		},
-		Tracer: tracer,
+		Watchdog: server.WatchdogConfig{BudgetMultiple: *wdMultiple},
+		Tracer:   tracer,
 	})
 
+	var drainErr error
 	if *listen == "" {
+		hlt.setReady(true)
 		serveStream(srv, os.Stdin, os.Stdout)
-	} else if err := serveTCP(srv, *listen); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		hlt.setReady(false)
+		drainErr = srv.Close()
+	} else {
+		drainErr = serveTCP(srv, *listen, hlt, *idleTimeout, *maxConns, *maxLine, *drainTO)
 	}
 
 	code := 0
-	if err := srv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "telamallocd: %v\n", err)
-		code = 3
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "telamallocd: %v\n", drainErr)
+		if errors.Is(drainErr, server.ErrDrainTimeout) {
+			code = 3 // forced drain: served what it could, then cut the rest
+		} else {
+			code = 1 // usage/listen failure
+		}
 	}
 	if flushTrace != nil {
 		flushTrace()
@@ -221,42 +203,56 @@ func main() {
 	os.Exit(code)
 }
 
-// serveTCP accepts connections until SIGINT/SIGTERM, each speaking the same
-// line protocol as stdin mode.
-func serveTCP(srv *server.Server, addr string) error {
+// obsMux builds the observability HTTP surface served on -metrics-addr:
+// Prometheus metrics, expvar, pprof, and the liveness/readiness endpoints.
+func obsMux(hlt *health) *http.ServeMux {
+	reg := obs.Default()
+	reg.PublishExpvar("telamalloc")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", hlt.healthz)
+	mux.HandleFunc("/readyz", hlt.readyz)
+	return mux
+}
+
+// serveTCP serves the line protocol over TCP until SIGINT/SIGTERM, then
+// drains within drainTimeout (connection lifecycle in conn.go). Returns
+// server.ErrDrainTimeout when the drain had to force-cancel work.
+func serveTCP(srv *server.Server, addr string, hlt *health, idle time.Duration, maxConns, maxLine int, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("telamallocd: %w", err)
 	}
+	d := newTCPDaemon(srv, ln, hlt, idle, maxConns, maxLine, drainTimeout)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	var wg sync.WaitGroup
 	go func() {
 		<-sig
-		ln.Close() // unblocks Accept; in-flight connections finish their requests
+		d.shutdownNow()
 	}()
+	hlt.setReady(true)
 	fmt.Fprintf(os.Stderr, "telamallocd: listening on %s\n", ln.Addr())
-	for {
-		conn, aerr := ln.Accept()
-		if aerr != nil {
-			wg.Wait()
-			return nil
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer conn.Close()
-			serveStream(srv, conn, conn)
-		}()
-	}
+	return d.run()
 }
 
-// serveStream answers line-delimited JSON requests from r on w until EOF.
-// Requests run concurrently through the server (which is where admission
-// control lives); a mutex serialises report lines.
+// serveStream answers line-delimited JSON requests from r on w until EOF —
+// the stdin/stdout mode. TCP connections run the same loop via serveConn.
 func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // traces can carry many buffers
+	serveScanner(srv, newWireScanner(r, 1<<26), w)
+}
+
+// serveScanner answers each request line from sc on w. Requests run
+// concurrently through the server (which is where admission control lives);
+// a mutex serialises report lines. A scanner failure — oversized line,
+// mid-line disconnect, idle timeout, shutdown — emits one final typed
+// rejected report before the stream closes, so the peer always learns why.
+func serveScanner(srv *server.Server, sc *bufio.Scanner, w io.Writer) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	emit := func(resp wireResponse) {
@@ -276,7 +272,7 @@ func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
 		}
 		var req wireRequest
 		if err := json.Unmarshal(raw, &req); err != nil {
-			emit(wireResponse{Outcome: "rejected", ErrorCode: "bad_request",
+			emit(wireResponse{Outcome: wire.OutcomeRejected, ErrorCode: wire.CodeBadRequest,
 				Error: fmt.Sprintf("bad request line: %v", err)})
 			continue
 		}
@@ -284,7 +280,7 @@ func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
 		// speaking a protocol this daemon does not — reject typed, never
 		// guess at field semantics.
 		if req.V != 0 && req.V != wireVersion {
-			emit(wireResponse{ID: req.ID, Outcome: "rejected", ErrorCode: "unsupported_version",
+			emit(wireResponse{ID: req.ID, Outcome: wire.OutcomeRejected, ErrorCode: wire.CodeUnsupportedVersion,
 				Error: fmt.Sprintf("unsupported wire protocol version %d (this daemon speaks %d)", req.V, wireVersion)})
 			continue
 		}
@@ -295,7 +291,8 @@ func serveStream(srv *server.Server, r io.Reader, w io.Writer) {
 		}(req)
 	}
 	if err := sc.Err(); err != nil {
-		emit(wireResponse{Outcome: "rejected", Error: fmt.Sprintf("read: %v", err)})
+		emit(wireResponse{Outcome: wire.OutcomeRejected, ErrorCode: scanErrorCode(err),
+			Error: fmt.Sprintf("read: %v", err)})
 	}
 	wg.Wait()
 }
@@ -317,14 +314,26 @@ func handle(srv *server.Server, wreq wireRequest) wireResponse {
 	var overload *server.OverloadError
 	switch {
 	case errors.As(err, &overload):
-		out.Outcome = "shed"
+		out.Outcome = wire.OutcomeShed
+		out.ErrorCode = wire.CodeOverloaded
 		out.Error = err.Error()
 		out.RetryAfterMS = float64(overload.RetryAfter.Microseconds()) / 1e3
 	case errors.Is(err, server.ErrDraining):
-		out.Outcome = "rejected"
+		out.Outcome = wire.OutcomeRejected
+		out.ErrorCode = wire.CodeDraining
 		out.Error = err.Error()
+	case errors.Is(err, server.ErrWatchdog):
+		// The watchdog's kill is terminal and non-retryable as-is: the job
+		// provably blew through its budget, so a verbatim retry would too.
+		out.Outcome = wire.OutcomeFailed
+		out.ErrorCode = wire.CodeWatchdogKilled
+		out.Error = err.Error()
+		if resp != nil {
+			out.Memory = resp.Memory
+			out.ElapsedMS = float64(resp.Elapsed.Microseconds()) / 1e3
+		}
 	case errors.Is(err, server.ErrCancelled):
-		out.Outcome = "cancelled"
+		out.Outcome = wire.OutcomeCancelled
 		out.Error = err.Error()
 	case resp != nil:
 		out.Outcome = string(resp.Outcome)

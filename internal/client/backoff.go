@@ -1,0 +1,70 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// jitter is the client's only source of retry delays. Every wait in this
+// package goes through delay+sleep — the lint gate bans bare time.Sleep in
+// internal/client precisely so no retry loop can quietly devolve into a
+// fixed-interval herd.
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter(seed int64) *jitter {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay prices the wait before retry number attempt (0-based): the server's
+// floor plus a full-jitter exponential term, uniform in [0, min(max,
+// base<<attempt)). The floor is respected exactly — the server priced it
+// from real queue state — while the jitter term spreads a fleet that was
+// shed together, so their retries do not re-arrive together
+// (server.OverloadError.RetryAfter documents why the floor alone herds).
+func (j *jitter) delay(attempt int, base, max, floor time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	backoff := max
+	// 1<<attempt overflows quickly; past the cap the shift is irrelevant.
+	if attempt < 30 {
+		if b := base << uint(attempt); b > 0 && b < max {
+			backoff = b
+		}
+	}
+	j.mu.Lock()
+	u := time.Duration(j.rng.Int63n(int64(backoff)))
+	j.mu.Unlock()
+	return floor + u
+}
+
+// sleep waits d, honoring ctx. Returns the context's cause if it ends
+// first. (No time.Sleep: an abandoned retry must release its goroutine the
+// moment the caller gives up.)
+func sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

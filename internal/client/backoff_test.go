@@ -1,0 +1,70 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The anti-herd contract from server.OverloadError.RetryAfter: the server
+// hands every shed caller the SAME floor, so the client must (a) never wait
+// less than the floor and (b) spread a fleet's retries so they do not
+// re-arrive in lockstep.
+func TestDelayRespectsFloorAndSpreads(t *testing.T) {
+	const (
+		floor = 25 * time.Millisecond
+		base  = 4 * time.Millisecond
+		max   = 64 * time.Millisecond
+	)
+	j := newJitter(42)
+	seen := map[time.Duration]int{}
+	for i := 0; i < 400; i++ {
+		d := j.delay(2, base, max, floor) // backoff window = base<<2 = 16ms
+		if d < floor {
+			t.Fatalf("delay %v below the server floor %v", d, floor)
+		}
+		if d >= floor+16*time.Millisecond {
+			t.Fatalf("delay %v outside the jitter window [floor, floor+16ms)", d)
+		}
+		seen[d]++
+	}
+	// Full jitter over a 16ms window: a fleet of 400 must not collapse
+	// onto a handful of instants. (Distinct nanosecond durations — the
+	// spread satellite: synchronized floors must not herd.)
+	if len(seen) < 100 {
+		t.Errorf("400 delays collapsed onto %d distinct values; jitter is not spreading retries", len(seen))
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	j := newJitter(7)
+	const base, max = time.Millisecond, 8 * time.Millisecond
+	// Attempt 0 jitters within [0, base).
+	for i := 0; i < 50; i++ {
+		if d := j.delay(0, base, max, 0); d >= base {
+			t.Fatalf("attempt 0 delay %v ≥ base %v", d, base)
+		}
+	}
+	// A huge attempt number must cap at max, not overflow.
+	for i := 0; i < 50; i++ {
+		if d := j.delay(1000, base, max, 0); d >= max {
+			t.Fatalf("capped delay %v ≥ max %v", d, max)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleep on cancelled ctx: %v, want context.Canceled", err)
+	}
+	start := time.Now()
+	if err := sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("1ms sleep took over a second")
+	}
+}

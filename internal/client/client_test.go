@@ -1,0 +1,383 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"telamalloc/internal/wire"
+)
+
+// fake is a scripted daemon speaking the v1 line protocol, so tests control
+// exactly when replies arrive, are withheld, or connections die.
+type fake struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu    sync.Mutex
+	reqs  []wire.Request
+	times []time.Time
+}
+
+func newFake(t *testing.T) *fake {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fake{t: t, ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	return f
+}
+
+func (f *fake) addr() string { return f.ln.Addr().String() }
+
+// serve accepts connections and runs handler per connection (sequentially,
+// so scripts stay deterministic) until the listener closes.
+func (f *fake) serve(handler func(conn net.Conn, sc *bufio.Scanner)) {
+	go func() {
+		for {
+			conn, err := f.ln.Accept()
+			if err != nil {
+				return
+			}
+			sc := bufio.NewScanner(conn)
+			handler(conn, sc)
+			conn.Close()
+		}
+	}()
+}
+
+// readReq scans one request line, recording it and its arrival time.
+func (f *fake) readReq(sc *bufio.Scanner) (wire.Request, bool) {
+	if !sc.Scan() {
+		return wire.Request{}, false
+	}
+	var req wire.Request
+	if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		f.t.Errorf("fake: bad request line %q: %v", sc.Text(), err)
+		return wire.Request{}, false
+	}
+	f.mu.Lock()
+	f.reqs = append(f.reqs, req)
+	f.times = append(f.times, time.Now())
+	f.mu.Unlock()
+	return req, true
+}
+
+func (f *fake) requests() []wire.Request {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]wire.Request(nil), f.reqs...)
+}
+
+func (f *fake) arrivals() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Time(nil), f.times...)
+}
+
+func reply(conn net.Conn, resp wire.Response) {
+	resp.V = wire.Version
+	b, _ := json.Marshal(resp)
+	conn.Write(append(b, '\n'))
+}
+
+func solvedFor(req wire.Request) wire.Response {
+	return wire.Response{ID: req.ID, Outcome: wire.OutcomeSolved, Winner: "greedy", Offsets: []int64{0, 4}}
+}
+
+func mustDial(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+var oneBuffer = []wire.Buffer{{Start: 0, End: 4, Size: 4}}
+
+func TestSubmitSolved(t *testing.T) {
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			reply(conn, solvedFor(req))
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 1})
+
+	resp, err := c.Submit(context.Background(), Request{ID: "r1", Memory: 8, Buffers: oneBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != wire.OutcomeSolved || resp.ID != "r1" || len(resp.Offsets) != 2 {
+		t.Errorf("report: %+v", resp)
+	}
+	reqs := f.requests()
+	if len(reqs) != 1 || reqs[0].V != wire.Version || reqs[0].ID != "r1" {
+		t.Errorf("daemon saw requests %+v, want one v1 request with id r1", reqs)
+	}
+
+	// A second request with a generated id reuses the connection.
+	if _, err := c.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Dials(); got != 1 {
+		t.Errorf("Dials = %d, want 1 (connection must be reused)", got)
+	}
+	if reqs := f.requests(); len(reqs) != 2 || reqs[1].ID == "" {
+		t.Errorf("second request must carry a generated id: %+v", reqs)
+	}
+}
+
+// The shed→retry loop must respect the server's floor on every retry and
+// eventually serve the solve.
+func TestShedRetryHonorsFloor(t *testing.T) {
+	const floorMS = 40
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			if len(f.requests()) <= 2 {
+				reply(conn, wire.Response{ID: req.ID, Outcome: wire.OutcomeShed,
+					ErrorCode: wire.CodeOverloaded, RetryAfterMS: floorMS, Error: "overloaded"})
+				continue
+			}
+			reply(conn, solvedFor(req))
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 7, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond})
+
+	resp, err := c.Submit(context.Background(), Request{ID: "r1", Memory: 8, Buffers: oneBuffer})
+	if err != nil || resp.Outcome != wire.OutcomeSolved {
+		t.Fatalf("resp %+v err %v", resp, err)
+	}
+	at := f.arrivals()
+	if len(at) != 3 {
+		t.Fatalf("daemon saw %d requests, want 3 (2 sheds + 1 solve)", len(at))
+	}
+	for i := 1; i < len(at); i++ {
+		if gap := at[i].Sub(at[i-1]); gap < floorMS*time.Millisecond {
+			t.Errorf("retry %d arrived %v after the shed, violating the %dms floor", i, gap, floorMS)
+		}
+	}
+}
+
+func TestRetriesExhaustedIsTyped(t *testing.T) {
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			reply(conn, wire.Response{ID: req.ID, Outcome: wire.OutcomeShed,
+				ErrorCode: wire.CodeOverloaded, RetryAfterMS: 1, Error: "overloaded"})
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 3, MaxAttempts: 3,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	_, err := c.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if got := len(f.requests()); got != 3 {
+		t.Errorf("daemon saw %d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+// A connection that dies after the request was fully written must surface
+// as the typed ambiguous outcome — never a silent retry, never a hang.
+func TestAmbiguousOnConnDropAfterWrite(t *testing.T) {
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		f.readReq(sc) // swallow the request, reply with nothing: conn closes on return
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 5})
+
+	_, err := c.Submit(context.Background(), Request{ID: "lost", Memory: 8, Buffers: oneBuffer})
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+	var amb *AmbiguousError
+	if !errors.As(err, &amb) || amb.ID != "lost" || amb.Cause == nil {
+		t.Errorf("ambiguous error detail: %#v", err)
+	}
+	if got := len(f.requests()); got != 1 {
+		t.Errorf("daemon saw %d requests, want 1 — an ambiguous outcome must NOT be auto-retried", got)
+	}
+}
+
+// After the daemon restarts, the next Submit must transparently reconnect.
+func TestReconnectAfterRestart(t *testing.T) {
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		req, ok := f.readReq(sc)
+		if !ok {
+			return
+		}
+		reply(conn, solvedFor(req)) // one request per connection, then "crash"
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 9, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+
+	if _, err := c.Submit(context.Background(), Request{ID: "a", Memory: 8, Buffers: oneBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the client has observed the connection loss, so the next
+	// Submit deterministically takes the redial path.
+	c.mu.Lock()
+	cn := c.cur
+	c.mu.Unlock()
+	select {
+	case <-cn.broken:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never noticed the daemon closing the connection")
+	}
+
+	resp, err := c.Submit(context.Background(), Request{ID: "b", Memory: 8, Buffers: oneBuffer})
+	if err != nil || resp.Outcome != wire.OutcomeSolved {
+		t.Fatalf("post-restart submit: resp %+v err %v", resp, err)
+	}
+	if got := c.Dials(); got != 2 {
+		t.Errorf("Dials = %d, want 2 (one reconnect)", got)
+	}
+}
+
+// A draining daemon answers typed rejected/draining; the client must treat
+// it as retryable and succeed against the restarted daemon.
+func TestDrainingRejectionRetries(t *testing.T) {
+	first := true
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		req, ok := f.readReq(sc)
+		if !ok {
+			return
+		}
+		if first {
+			first = false
+			reply(conn, wire.Response{ID: req.ID, Outcome: wire.OutcomeRejected,
+				ErrorCode: wire.CodeDraining, Error: "draining"})
+			return // and the connection closes, like a real shutdown
+		}
+		reply(conn, solvedFor(req))
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 11, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+
+	resp, err := c.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer})
+	if err != nil || resp.Outcome != wire.OutcomeSolved {
+		t.Fatalf("resp %+v err %v", resp, err)
+	}
+	if got := len(f.requests()); got < 2 {
+		t.Errorf("daemon saw %d requests, want ≥ 2 (rejected then retried)", got)
+	}
+}
+
+// The caller's context deadline must reach the daemon as timeout_ms, and
+// an explicit Request.Timeout must only shrink it.
+func TestDeadlinePropagation(t *testing.T) {
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			reply(conn, solvedFor(req))
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 13})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(ctx, Request{ID: "d1", Memory: 8, Buffers: oneBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel2()
+	if _, err := c.Submit(ctx2, Request{ID: "d2", Memory: 8, Buffers: oneBuffer, Timeout: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := f.requests()
+	if len(reqs) != 2 {
+		t.Fatalf("daemon saw %d requests, want 2", len(reqs))
+	}
+	if ms := reqs[0].TimeoutMS; ms <= 0 || ms > 300 {
+		t.Errorf("d1 timeout_ms = %d, want in (0, 300]", ms)
+	}
+	if ms := reqs[1].TimeoutMS; ms <= 0 || ms > 50 {
+		t.Errorf("d2 timeout_ms = %d, want in (0, 50] (request timeout shrinks the pot)", ms)
+	}
+}
+
+func TestDuplicateInFlightID(t *testing.T) {
+	release := make(chan struct{})
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			if req.ID == "dup" && len(f.requests()) == 1 {
+				<-release // park the first "dup" unanswered
+			}
+			reply(conn, solvedFor(req))
+		}
+	})
+	defer close(release)
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 15})
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), Request{ID: "dup", Memory: 8, Buffers: oneBuffer})
+		firstDone <- err
+	}()
+	// Wait for the first request to be in flight on the wire.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(f.requests()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the daemon")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.Submit(context.Background(), Request{ID: "dup", Memory: 8, Buffers: oneBuffer})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("second in-flight submit with same id: err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestSubmitAfterCloseAndDialFailure(t *testing.T) {
+	f := newFake(t)
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 17, MaxAttempts: 2,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	c.Close()
+	if _, err := c.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+
+	// A dead address is a retryable condition that must exhaust typed, not
+	// hang or crash.
+	f.ln.Close()
+	c2 := mustDial(t, Config{Addr: f.addr(), Seed: 19, MaxAttempts: 2,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, err := c2.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Errorf("dead daemon: err = %v, want ErrRetriesExhausted", err)
+	}
+}

@@ -47,6 +47,21 @@ const (
 	PointServerHedge = "server:hedge"
 	// PointServerDrain fires once when a drain begins.
 	PointServerDrain = "server:drain"
+	// PointServerWatchdog fires on every solve-watchdog scan. A stall
+	// models a descheduled watchdog; a panic must be contained by the
+	// watchdog loop; a starve makes the watchdog treat every scanned job
+	// as overdue — the deterministic way to force a watchdog kill without
+	// real wall-clock overruns.
+	PointServerWatchdog = "server:watchdog"
+	// PointConnAccept fires in the daemon's accept loop for each accepted
+	// connection, before the connection-limit check. A starve makes the
+	// daemon shed the connection as if the limit were reached; a stall
+	// models a wedged accept path.
+	PointConnAccept = "conn:accept"
+	// PointConnRead fires before each request line is read from a
+	// connection. A starve synthesizes an idle-timeout on that read; a
+	// stall models a slow peer holding the read loop.
+	PointConnRead = "conn:read"
 )
 
 // StageEntry returns the hook label announced when a pipeline stage is

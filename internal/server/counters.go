@@ -23,6 +23,8 @@ type counters struct {
 	forceCancelled   atomic.Int64
 	dedupShared      atomic.Int64
 	hintReplays      atomic.Int64
+	watchdogScans    atomic.Int64
+	watchdogKills    atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of the service counters.
@@ -63,6 +65,12 @@ type Counters struct {
 	// HintReplays counts pipeline runs settled by replaying a decision
 	// trace instead of searching.
 	HintReplays int64
+	// WatchdogScans counts solve-watchdog passes over the active-job
+	// registry; WatchdogKills counts jobs force-cancelled for running past
+	// the configured multiple of their budget. Each kill is also counted
+	// under Failed once the worker delivers the typed verdict.
+	WatchdogScans int64
+	WatchdogKills int64
 	// CacheHits / CacheMisses count solution-cache lookups; CacheNearHits
 	// counts shape-only matches that seeded a hint. CacheInsertions -
 	// CacheEvictions == CacheLen while the server lives. All zero when the
@@ -96,6 +104,8 @@ func (s *Server) Snapshot() Counters {
 		ForceCancelled:    c.forceCancelled.Load(),
 		DedupShared:       c.dedupShared.Load(),
 		HintReplays:       c.hintReplays.Load(),
+		WatchdogScans:     c.watchdogScans.Load(),
+		WatchdogKills:     c.watchdogKills.Load(),
 	}
 	if s.cache != nil {
 		cc := s.cache.Counters()

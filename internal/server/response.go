@@ -42,6 +42,12 @@ var (
 	// ErrDrainTimeout is returned by Drain when in-flight work had to be
 	// force-cancelled because the drain deadline expired.
 	ErrDrainTimeout = errors.New("server: drain deadline exceeded, in-flight work cancelled")
+	// ErrWatchdog is wrapped by the error Submit returns when the solve
+	// watchdog force-cancelled the request for running past the configured
+	// multiple of its budget (Config.Watchdog). The Response, when present,
+	// carries OutcomeFailed. Deliberately distinct from ErrCancelled: the
+	// caller did nothing; the solve wedged.
+	ErrWatchdog = errors.New("server: solve watchdog killed request")
 )
 
 // OverloadError is the typed load-shed error: the queue was full (or
@@ -50,7 +56,16 @@ var (
 type OverloadError struct {
 	// QueueDepth is the queue occupancy at shed time.
 	QueueDepth int
-	// RetryAfter is the backoff hint. It is a floor, not a guarantee.
+	// RetryAfter is the backoff hint. It is a floor, not a guarantee —
+	// and crucially it is the SAME floor for every caller shed in the
+	// same congestion episode, because it is priced from shared state
+	// (queue depth × EWMA latency). A client that sleeps exactly
+	// RetryAfter therefore retries in lockstep with every other shed
+	// client and the herd re-arrives together, re-overloading the queue
+	// it was shed from. Clients MUST add their own randomness on top:
+	// wait RetryAfter plus a full-jitter term (uniform in [0, backoff)),
+	// never RetryAfter alone. internal/client implements this contract
+	// and tests that a fleet shed with one floor spreads its retries.
 	RetryAfter time.Duration
 }
 

@@ -78,6 +78,11 @@ type Config struct {
 	Hedge bool
 	// Breaker tunes the per-stage circuit breakers.
 	Breaker BreakerConfig
+	// Watchdog tunes the solve watchdog (off by default). When enabled it
+	// force-cancels jobs still running past a multiple of their budget,
+	// records telamalloc_watchdog_* metrics, and reports the wedged stage
+	// to its breaker as a failure.
+	Watchdog WatchdogConfig
 	// DrainTimeout is Close's drain deadline (default 5s).
 	DrainTimeout time.Duration
 	// CacheSize bounds the solution cache (0 = default 256 entries,
@@ -118,6 +123,7 @@ func (c Config) withDefaults() Config {
 		c.CacheSize = 256
 	}
 	c.Breaker = c.Breaker.withDefaults()
+	c.Watchdog = c.Watchdog.withDefaults()
 	return c
 }
 
@@ -143,6 +149,12 @@ type Server struct {
 	metrics  *serverMetrics
 
 	cache *cache.Cache // nil when Config.CacheSize < 0
+
+	wdMu       sync.Mutex // guards wdJobs
+	wdJobs     map[*job]struct{}
+	wdStop     chan struct{}
+	wdStopOnce sync.Once
+	wdDone     chan struct{}
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
@@ -170,6 +182,9 @@ type job struct {
 	done    chan struct{}
 	resp    *Response
 	err     error
+
+	wdDeadline time.Time   // submitted + budget × watchdog multiple
+	wdKilled   atomic.Bool // set once by the watchdog before j.cancel
 }
 
 // settle claims the right to deliver the job's terminal outcome. Exactly
@@ -185,6 +200,9 @@ func New(cfg Config) *Server {
 		breakers: make(map[string]*breaker, len(pipelineStages)),
 		latency:  stats.NewEWMA(0.2),
 		flights:  make(map[string]*flight),
+		wdJobs:   make(map[*job]struct{}),
+		wdStop:   make(chan struct{}),
+		wdDone:   make(chan struct{}),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New(cfg.CacheSize)
@@ -197,6 +215,11 @@ func New(cfg Config) *Server {
 	s.workerWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.Watchdog.enabled() {
+		go s.watchdogLoop()
+	} else {
+		close(s.wdDone)
 	}
 	return s
 }
@@ -549,6 +572,8 @@ func (s *Server) worker() {
 func (s *Server) serveJob(j *job) {
 	defer j.stop()
 	defer j.cancel()
+	unwatch := s.watchJob(j)
+	defer unwatch()
 	wait := time.Since(j.submitted)
 	s.metrics.queueWait.ObserveDuration(wait.Nanoseconds())
 	s.traceEvent(j.req.TraceID, "queue", j.submitted, wait, nil)
@@ -630,6 +655,10 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 		s.cfg.Hook(faultinject.PointServerDequeue)
 	}
 	if cerr := j.ctx.Err(); cerr != nil {
+		if j.wdKilled.Load() {
+			werr := s.watchdogError(j)
+			return &Response{Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: werr.Error()}, werr
+		}
 		return nil, fmt.Errorf("%w: %v", ErrCancelled, cerr)
 	}
 	var timeout time.Duration
@@ -683,7 +712,7 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 				// Settle the breaker decisions with no signal: without this,
 				// a half-open probe slot would stay held forever and the
 				// stage could never be re-admitted.
-				s.observeBreakers(decisions, telamalloc.PipelineResult{})
+				s.observeBreakers(decisions, telamalloc.PipelineResult{}, false)
 				ferr := fmt.Errorf("%w: panic around pipeline: %v", telamalloc.ErrInternal, r)
 				ch <- attempt{main: true, err: ferr, resp: &Response{
 					Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: ferr.Error(),
@@ -691,7 +720,7 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 			}
 		}()
 		res, perr := telamalloc.AllocatePipeline(j.req.Problem, opts...)
-		s.observeBreakers(decisions, res)
+		s.observeBreakers(decisions, res, j.wdKilled.Load())
 		s.traceStages(j.req.TraceID, res)
 		ch <- attempt{main: true, resp: responseFrom(res, perr, skipped), err: perr}
 	}()
@@ -729,6 +758,12 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 			// The full ladder's verdict — win, degradation, or structured
 			// failure — always outranks a pending hedge.
 			if errors.Is(a.err, telamalloc.ErrCancelled) {
+				if j.wdKilled.Load() {
+					// The cancellation was the watchdog's kill, not the
+					// caller's: surface it as the typed overrun failure.
+					werr := s.watchdogError(j)
+					return &Response{Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: werr.Error()}, werr
+				}
 				return nil, fmt.Errorf("%w: %v", ErrCancelled, a.err)
 			}
 			return a.resp, a.err
@@ -821,8 +856,10 @@ func (s *Server) admitStages() (ladder, skipped []string, decisions map[string]d
 }
 
 // observeBreakers settles each stage's breaker decision against the
-// pipeline's per-stage reports.
-func (s *Server) observeBreakers(decisions map[string]decision, res telamalloc.PipelineResult) {
+// pipeline's per-stage reports. wdKilled marks a run the solve watchdog
+// force-cancelled: unlike an ordinary cancellation, the kill IS a health
+// signal, charged to the stage that was running when it landed.
+func (s *Server) observeBreakers(decisions map[string]decision, res telamalloc.PipelineResult, wdKilled bool) {
 	now := time.Now()
 	reports := make(map[string]telamalloc.StageReport, len(res.Stages))
 	for _, rep := range res.Stages {
@@ -831,18 +868,22 @@ func (s *Server) observeBreakers(decisions map[string]decision, res telamalloc.P
 	for stage, d := range decisions {
 		rep, ok := reports[stage]
 		ran := ok && !rep.Skipped
-		if ran && errors.Is(rep.Err, telamalloc.ErrCancelled) {
+		if ran && errors.Is(rep.Err, telamalloc.ErrCancelled) && !wdKilled {
 			// A cancelled stage (hedge won the race, caller gave up, drain
 			// force-cancel) carries no health signal: it must not close a
 			// half-open breaker as a "successful" probe, and it is not a
 			// failure either. Report it as not-run so the breaker releases
-			// the probe slot without a verdict.
+			// the probe slot without a verdict. A watchdog kill is the
+			// exception: the stage wedged past its budget multiple, which
+			// is exactly the unhealthiness breakers exist to contain.
 			ran = false
 		}
 		failed := false
 		if ran && rep.Err != nil {
 			switch {
 			case errors.Is(rep.Err, telamalloc.ErrInternal):
+				failed = true
+			case wdKilled && errors.Is(rep.Err, telamalloc.ErrCancelled):
 				failed = true
 			case s.cfg.Breaker.SlowStage > 0 &&
 				errors.Is(rep.Err, telamalloc.ErrBudget) &&
@@ -882,6 +923,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() {
 		s.workerWG.Wait()
 		s.bgWG.Wait()
+		// The watchdog outlives the workers (a kill needs a live worker to
+		// observe it) and stops only once they are gone.
+		s.wdStopOnce.Do(func() { close(s.wdStop) })
+		<-s.wdDone
 		close(done)
 	}()
 	select {

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"telamalloc/internal/faultinject"
+)
+
+// WatchdogConfig tunes the solve watchdog: the server's last line of
+// defence against a wedged solve. The per-request budget already bounds a
+// *cooperative* solver — it polls its deadline every stride and stops
+// itself. The watchdog covers the uncooperative failure modes production
+// actually sees: a stalled hook, a descheduled worker, a stage that
+// stopped polling. Any job still running past BudgetMultiple × its budget
+// is force-cancelled through the same context plumbing Drain uses, the
+// kill is recorded in the telamalloc_watchdog_* metrics, and the stage
+// that was running when the kill landed is reported to its circuit
+// breaker as a failure — a stage that wedges repeatedly gets skipped,
+// exactly like one that crashes repeatedly.
+type WatchdogConfig struct {
+	// BudgetMultiple enables the watchdog when > 0: a job still running
+	// after BudgetMultiple × its effective wall budget (measured from
+	// Submit, like the budget itself) is force-cancelled. Jobs with no
+	// budget are never watched — with no pot there is no overrun.
+	// Values in (0,1) are clamped to 1: the watchdog must never fire
+	// before the budget the solver is still honestly entitled to.
+	BudgetMultiple float64
+	// Interval is the scan period (default 25ms). Detection latency is
+	// bounded by one interval plus the solver's cancellation latency.
+	Interval time.Duration
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.BudgetMultiple > 0 && c.BudgetMultiple < 1 {
+		c.BudgetMultiple = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = 25 * time.Millisecond
+	}
+	return c
+}
+
+// enabled reports whether the watchdog should run at all.
+func (c WatchdogConfig) enabled() bool { return c.BudgetMultiple > 0 }
+
+// watchJob registers a dequeued job with the watchdog. No-op when the
+// watchdog is off or the job carries no budget.
+func (s *Server) watchJob(j *job) (unwatch func()) {
+	if !s.cfg.Watchdog.enabled() || j.budget <= 0 {
+		return func() {}
+	}
+	j.wdDeadline = j.submitted.Add(time.Duration(float64(j.budget) * s.cfg.Watchdog.BudgetMultiple))
+	s.wdMu.Lock()
+	s.wdJobs[j] = struct{}{}
+	s.wdMu.Unlock()
+	return func() {
+		s.wdMu.Lock()
+		delete(s.wdJobs, j)
+		s.wdMu.Unlock()
+	}
+}
+
+// watchdogLoop scans the active-job registry every Interval and
+// force-cancels overruns. It runs for the life of the server; Drain stops
+// it after the workers exit, so every kill it could ever deliver has a
+// live worker to observe it.
+func (s *Server) watchdogLoop() {
+	defer close(s.wdDone)
+	ticker := time.NewTicker(s.cfg.Watchdog.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.wdStop:
+			return
+		case <-ticker.C:
+			s.watchdogScan(time.Now())
+		}
+	}
+}
+
+// watchdogScan is one pass over the registered jobs. A starve injected at
+// the server:watchdog point makes every scanned job overdue — the
+// deterministic path the fault suite uses to prove a kill ends in exactly
+// one typed outcome without arming real multi-second stalls.
+func (s *Server) watchdogScan(now time.Time) {
+	forceAll, herr := s.hookPoint(faultinject.PointServerWatchdog)
+	if herr != nil {
+		// A crashing watchdog hook is contained (counted by hookPoint);
+		// the scan is skipped, never the loop.
+		return
+	}
+	s.counters.watchdogScans.Add(1)
+	var overdue []*job
+	s.wdMu.Lock()
+	for j := range s.wdJobs {
+		if forceAll || now.After(j.wdDeadline) {
+			overdue = append(overdue, j)
+		}
+	}
+	s.wdMu.Unlock()
+	for _, j := range overdue {
+		if j.wdKilled.CompareAndSwap(false, true) {
+			s.counters.watchdogKills.Add(1)
+			if over := now.Sub(j.wdDeadline); over > 0 {
+				s.metrics.watchdogOverrun.ObserveDuration(over.Nanoseconds())
+			} else {
+				s.metrics.watchdogOverrun.ObserveDuration(0)
+			}
+			// The job's own context is the one cancellation surface every
+			// layer below already honours; the kill rides it.
+			j.cancel()
+		}
+	}
+}
+
+// watchdogError builds the typed terminal error for a watchdog-killed job.
+func (s *Server) watchdogError(j *job) error {
+	return fmt.Errorf("%w: solve exceeded %.1f× its %v budget and was force-cancelled",
+		ErrWatchdog, s.cfg.Watchdog.BudgetMultiple, j.budget)
+}
+
+// watchdogActive reports the current number of watched jobs (metrics).
+func (s *Server) watchdogActive() int64 {
+	s.wdMu.Lock()
+	defer s.wdMu.Unlock()
+	return int64(len(s.wdJobs))
+}

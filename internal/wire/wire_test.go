@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The daemon's v1 compatibility contract: a request that omits "v" must
+// round-trip with V==0 (meaning Version), and report lines must always
+// carry "v" even when every optional field is empty.
+func TestRequestVersionOmittedMeansZero(t *testing.T) {
+	var req Request
+	if err := json.Unmarshal([]byte(`{"memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.V != 0 {
+		t.Errorf("omitted v decoded as %d, want 0", req.V)
+	}
+	if req.Memory != 8 || len(req.Buffers) != 1 {
+		t.Errorf("request body misdecoded: %+v", req)
+	}
+}
+
+func TestResponseAlwaysCarriesVersion(t *testing.T) {
+	b, err := json.Marshal(Response{V: Version, Outcome: OutcomeRejected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := raw["v"].(float64); !ok || v != Version {
+		t.Errorf(`marshalled report %s: "v" = %v, want %d`, b, raw["v"], Version)
+	}
+}
+
+func TestRetryableCode(t *testing.T) {
+	retryable := []string{CodeDraining, CodeTooManyConnections, CodeOverloaded, CodeIdleTimeout, CodeShuttingDown}
+	permanent := []string{CodeBadRequest, CodeUnsupportedVersion, CodeLineTooLong, CodeTruncatedLine, CodeWatchdogKilled, "", "unknown"}
+	for _, c := range retryable {
+		if !RetryableCode(c) {
+			t.Errorf("RetryableCode(%q) = false, want true", c)
+		}
+	}
+	for _, c := range permanent {
+		if RetryableCode(c) {
+			t.Errorf("RetryableCode(%q) = true, want false", c)
+		}
+	}
+}
