@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak chaossoak
+.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak chaossoak overloadsoak
 
 ## ci: the full verification gate — lint, build, the test suite under the
 ## race detector (the parallel subproblem solver makes -race mandatory),
 ## the fault-injection suite re-run under -race, the serving-layer soak,
 ## the solution-cache soak, the observability soak, the subprocess chaos
-## soak, and a fuzz smoke of the public API.
-ci: lint build race faultrace soak cachesoak obssoak chaossoak fuzz
+## soak, the overload-control soak, and a fuzz smoke of the public API.
+ci: lint build race faultrace soak cachesoak obssoak chaossoak overloadsoak fuzz
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ lint: vet
 	if [ -n "$$bad" ]; then \
 		echo "lint: bare time.Sleep is banned in internal/client (use the jittered"; \
 		echo "lint: backoff helpers — fixed sleeps turn a shed fleet into a retry herd):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@bad=$$(grep -n 'time\.Sleep(' internal/server/*.go | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: bare time.Sleep is banned in internal/server (control loops are"; \
+		echo "lint: ticker-driven so tests can drive them with a manual clock):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi
@@ -85,14 +92,28 @@ chaossoak:
 faultrace:
 	$(GO) test -race -run 'Fault|Injected|Panic|Starv|Cancel' ./internal/core ./internal/faultinject ./internal/portfolio .
 
+## overloadsoak: the overload-control acceptance soak under the race
+## detector — a sustained mixed-class, mixed-tenant flood against a slowed
+## server: exactly one terminal outcome per request, no solver steps on
+## expired-in-queue jobs, interactive latency bounded and never shed by
+## batch/background floods, the counter ledger balanced, and the brownout
+## controller both engaging and disengaging with hysteresis. Plus the
+## no-overload byte-identity check and the deadline/tenant/brownout unit
+## suites. See DESIGN.md §14.
+overloadsoak:
+	$(GO) test -race -count=1 -run 'TestOverloadSoak|Priority|ClassQueue|BatchFlood|RetryAfterMonotonic|Expire|Tenant|Brownout|NoOverloadByte' ./internal/server ./cmd/telamallocd ./internal/wire
+
 ## fuzz: short native-fuzzing smoke of the public entry points — no input
 ## may panic, nil error implies a valid packing, every error wraps exactly
 ## one public sentinel — plus the cache-key invariant: fingerprint-equal
-## problems must accept each other's replayed solutions.
+## problems must accept each other's replayed solutions, and the wire
+## schema's untrusted-line parsing (FuzzWire) must never panic and must
+## re-encode to a fixed point.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzAllocate -fuzztime=10s .
 	$(GO) test -run='^$$' -fuzz=FuzzPipeline -fuzztime=10s .
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprint -fuzztime=10s ./internal/cache
+	$(GO) test -run='^$$' -fuzz=FuzzWire -fuzztime=10s ./internal/wire
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

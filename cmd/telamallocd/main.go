@@ -23,7 +23,9 @@
 //	 "memory":1048576,          // scratchpad limit, required
 //	 "buffers":[{"start":0,"end":4,"size":512,"align":64}, ...],
 //	 "max_steps":200000,        // per-request step pot, optional
-//	 "timeout_ms":500}          // per-request wall pot, optional
+//	 "timeout_ms":500,          // per-request wall pot, optional
+//	 "priority":"interactive",  // admission class, optional (default batch)
+//	 "tenant":"team-a"}         // fairness domain, optional
 //
 // Report schema (one line per request; "v" is always the version served):
 //
@@ -34,6 +36,16 @@
 // shed reports carry "retry_after_ms". A request with an unknown "v" is
 // rejected without being parsed further: outcome "rejected" with
 // error_code "unsupported_version" — never a silent misinterpretation.
+//
+// Under overload the daemon applies the server's overload-control layer
+// (DESIGN.md §14): per-class queue lanes with strict-priority dequeue
+// (-class-depth), per-tenant token buckets and in-flight shares
+// (-tenant-rps, -tenant-burst, -tenant-share; sheds carry error_code
+// "tenant_overloaded"), eviction of requests whose budget expired in queue
+// (error_code "deadline_exceeded_in_queue" — no solver step is spent on
+// dead work), and a brownout controller (-brownout-target) that trades
+// answer quality for latency with hysteresis; responses produced under a
+// degraded ladder carry "degraded_by_brownout":true.
 //
 // With -metrics-addr the daemon serves its observability surface over HTTP:
 // Prometheus metrics at /metrics, liveness at /healthz, readiness at
@@ -70,6 +82,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -111,6 +125,12 @@ func main() {
 		maxConns     = flag.Int("max-conns", 256, "concurrent -listen connections; excess connections are shed with a typed report")
 		maxLine      = flag.Int("max-line", 1<<26, "largest accepted request line in bytes")
 		wdMultiple   = flag.Float64("watchdog-multiple", 0, "force-cancel a solve exceeding this multiple of its budget (0 = off)")
+		classDepth   = flag.String("class-depth", "", `per-class queue bounds, e.g. "interactive=128,batch=64,background=16" (unset classes use -queue)`)
+		tenantRPS    = flag.Float64("tenant-rps", 0, "per-tenant sustained admission rate in requests/second (0 = no rate limit)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = ceil of -tenant-rps)")
+		tenantShare  = flag.Float64("tenant-share", 0, "max fraction of server capacity one tenant may hold in flight (0 or >=1 = off)")
+		brownTarget  = flag.Duration("brownout-target", 0, "queue-wait p90 the brownout controller defends; under sustained pressure it degrades the ladder and recovers with hysteresis (0 = off)")
+		brownIntv    = flag.Duration("brownout-interval", 0, "brownout controller evaluation cadence (0 = 100ms default)")
 		metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics, /healthz, /readyz, /debug/vars and /debug/pprof/ (empty = off)")
 		traceFile    = flag.String("trace-file", "", "append request lifecycle spans to this file as JSON Lines (empty = off)")
 		quiet        = flag.Bool("q", false, "suppress the counters summary on shutdown")
@@ -149,6 +169,11 @@ func main() {
 	if cacheCfg <= 0 {
 		cacheCfg = -1 // the server treats 0 as "default"; the flag's 0 means off
 	}
+	classBounds, err := parseClassDepth(*classDepth)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telamallocd: -class-depth: %v\n", err)
+		os.Exit(1)
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -164,8 +189,18 @@ func main() {
 			Cooldown:  *brkCooldown,
 			SlowStage: *slowStage,
 		},
-		Watchdog: server.WatchdogConfig{BudgetMultiple: *wdMultiple},
-		Tracer:   tracer,
+		Watchdog:   server.WatchdogConfig{BudgetMultiple: *wdMultiple},
+		ClassDepth: classBounds,
+		Tenant: server.TenantConfig{
+			RPS:      *tenantRPS,
+			Burst:    *tenantBurst,
+			MaxShare: *tenantShare,
+		},
+		Brownout: server.BrownoutConfig{
+			Target:   *brownTarget,
+			Interval: *brownIntv,
+		},
+		Tracer: tracer,
 	})
 
 	var drainErr error
@@ -193,14 +228,45 @@ func main() {
 	if !*quiet {
 		c := srv.Snapshot()
 		fmt.Fprintf(os.Stderr,
-			"telamallocd: submitted %d admitted %d shed %d rejected %d | solved %d degraded %d failed %d cancelled %d | hedge-wins %d breaker trips/probes/recoveries %d/%d/%d | cache hits/misses/near %d/%d/%d len %d | dedup-shared %d hint-replays %d\n",
+			"telamallocd: submitted %d admitted %d shed %d rejected %d | solved %d degraded %d failed %d cancelled %d | hedge-wins %d breaker trips/probes/recoveries %d/%d/%d | cache hits/misses/near %d/%d/%d len %d | dedup-shared %d hint-replays %d | expired dequeue/evict %d/%d tenant-shed %d | brownout degrades/recovers %d/%d marked %d\n",
 			c.Submitted, c.Admitted, c.Shed, c.RejectedDraining,
 			c.Solved, c.Degraded, c.Failed, c.Cancelled,
 			c.HedgeWins, c.BreakerTrips, c.BreakerProbes, c.BreakerRecoveries,
 			c.CacheHits, c.CacheMisses, c.CacheNearHits, c.CacheLen,
-			c.DedupShared, c.HintReplays)
+			c.DedupShared, c.HintReplays,
+			c.ExpiredInQueue, c.ExpiredEvicted, c.TenantShed,
+			c.BrownoutDegrades, c.BrownoutRecovers, c.BrownoutDegraded)
 	}
 	os.Exit(code)
+}
+
+// parseClassDepth parses the -class-depth flag: comma-separated
+// class=depth pairs over the known priority classes.
+func parseClassDepth(s string) (map[server.Priority]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[server.Priority]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q: want class=depth", part)
+		}
+		p := server.Priority(strings.TrimSpace(name))
+		if !p.Valid() || p == "" {
+			return nil, fmt.Errorf("unknown class %q (want interactive, batch, or background)", name)
+		}
+		d, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("%q: depth must be a positive integer", part)
+		}
+		out[p] = d
+	}
+	return out, nil
 }
 
 // obsMux builds the observability HTTP surface served on -metrics-addr:
@@ -309,6 +375,8 @@ func handle(srv *server.Server, wreq wireRequest) wireResponse {
 		MaxSteps: wreq.MaxSteps,
 		Timeout:  time.Duration(wreq.TimeoutMS) * time.Millisecond,
 		TraceID:  wreq.ID,
+		Priority: server.Priority(wreq.Priority),
+		Tenant:   wreq.Tenant,
 	})
 	out := wireResponse{ID: wreq.ID}
 	var overload *server.OverloadError
@@ -316,8 +384,30 @@ func handle(srv *server.Server, wreq wireRequest) wireResponse {
 	case errors.As(err, &overload):
 		out.Outcome = wire.OutcomeShed
 		out.ErrorCode = wire.CodeOverloaded
+		if overload.Tenant != "" {
+			// A per-tenant shed is the tenant's quota, not daemon
+			// capacity — a distinct code so fleet dashboards (and other
+			// tenants' clients) don't read one hot tenant as an outage.
+			out.ErrorCode = wire.CodeTenantOverloaded
+		}
 		out.Error = err.Error()
 		out.RetryAfterMS = float64(overload.RetryAfter.Microseconds()) / 1e3
+	case errors.Is(err, server.ErrBadPriority):
+		out.Outcome = wire.OutcomeRejected
+		out.ErrorCode = wire.CodeBadRequest
+		out.Error = err.Error()
+	case errors.Is(err, server.ErrExpiredInQueue):
+		// The budget ran out while queued; no solver step was spent. Typed
+		// so clients can tell "raise your budget or back off" from a solve
+		// that ran and failed.
+		out.Outcome = wire.OutcomeFailed
+		out.ErrorCode = wire.CodeDeadlineExceededInQueue
+		out.Error = err.Error()
+		if resp != nil {
+			out.Memory = resp.Memory
+			out.QueueWaitMS = float64(resp.QueueWait.Microseconds()) / 1e3
+			out.ElapsedMS = float64(resp.Elapsed.Microseconds()) / 1e3
+		}
 	case errors.Is(err, server.ErrDraining):
 		out.Outcome = wire.OutcomeRejected
 		out.ErrorCode = wire.CodeDraining
@@ -348,6 +438,7 @@ func handle(srv *server.Server, wreq wireRequest) wireResponse {
 		out.CacheHit = resp.CacheHit
 		out.Deduped = resp.Deduped
 		out.HintReplayed = resp.HintReplayed
+		out.DegradedByBrownout = resp.DegradedByBrownout
 		out.QueueWaitMS = float64(resp.QueueWait.Microseconds()) / 1e3
 		out.ElapsedMS = float64(resp.Elapsed.Microseconds()) / 1e3
 		out.Error = resp.Err

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -223,5 +225,159 @@ func TestServeStreamVersioning(t *testing.T) {
 		if v, ok := raw["v"].(float64); !ok || v != 1 {
 			t.Errorf("report %q: \"v\" = %v, want 1 on every line", sc.Text(), raw["v"])
 		}
+	}
+}
+
+func TestParseClassDepth(t *testing.T) {
+	got, err := parseClassDepth("interactive=32,background=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[server.PriorityInteractive] != 32 || got[server.PriorityBackground] != 4 || len(got) != 2 {
+		t.Errorf("parsed %v", got)
+	}
+	if got, err := parseClassDepth(""); err != nil || got != nil {
+		t.Errorf("empty spec: got %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{
+		"realtime=4",       // unknown class
+		"=4",               // empty class (would silently mean batch)
+		"interactive=0",    // non-positive depth
+		"interactive=-2",   //
+		"interactive=four", // not a number
+		"interactive",      // missing depth
+	} {
+		if _, err := parseClassDepth(bad); err == nil {
+			t.Errorf("parseClassDepth(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// Priority and tenant flow from the wire into the server, and an unknown
+// priority is a typed bad_request — never silently downgraded.
+func TestServeStreamPriorityAndTenant(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 8})
+	defer srv.Close()
+
+	in := strings.Join([]string{
+		`{"id":"pi","priority":"interactive","tenant":"team-a","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+		`{"id":"pb","priority":"background","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+		`{"id":"typo","priority":"Interactive","memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`,
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	serveStream(srv, strings.NewReader(in), &out)
+	byID := decodeReports(t, &out)
+
+	for _, id := range []string{"pi", "pb"} {
+		if resp := byID[id]; resp.Outcome != "solved" {
+			t.Errorf("%s: %+v, want solved", id, resp)
+		}
+	}
+	typo := byID["typo"]
+	if typo.Outcome != "rejected" || typo.ErrorCode != "bad_request" {
+		t.Errorf("typo'd priority: got outcome %q error_code %q, want rejected/bad_request", typo.Outcome, typo.ErrorCode)
+	}
+	if !strings.Contains(typo.Error, "Interactive") {
+		t.Errorf("rejection should echo the unknown class: %q", typo.Error)
+	}
+}
+
+// A budget that dies in queue maps to failed/deadline_exceeded_in_queue on
+// the wire, carrying the queue-wait evidence. The worker is gated so the
+// doomed request deterministically waits out its 1ms budget in queue.
+func TestHandleExpiredInQueue(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	var entered atomic.Bool
+	srv := server.New(server.Config{
+		Workers:      1,
+		QueueDepth:   4,
+		DisableDedup: true,
+		CacheSize:    -1,
+		Hook: func(point string) bool {
+			if point == "server:dequeue" {
+				entered.Store(true)
+				<-gate
+			}
+			return false
+		},
+	})
+	// Cleanups run LIFO: the gate must open before Close drains the parked
+	// worker.
+	t.Cleanup(func() { srv.Close() })
+	t.Cleanup(release)
+
+	results := make(chan wireResponse, 2)
+	submit := func(req wireRequest) {
+		go func() { results <- handle(srv, req) }()
+	}
+	submit(wireRequest{ID: "occupy", Memory: 8, Buffers: []wireBuffer{{Start: 0, End: 4, Size: 4}}})
+	deadline := time.Now().Add(5 * time.Second)
+	for !entered.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the occupying request")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	submit(wireRequest{ID: "doomed", TimeoutMS: 1, Memory: 8,
+		Buffers: []wireBuffer{{Start: 0, End: 4, Size: 4}, {Start: 4, End: 8, Size: 4}}})
+	for srv.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the 1ms budget die in queue
+	release()
+
+	byID := map[string]wireResponse{}
+	for i := 0; i < 2; i++ {
+		resp := <-results
+		byID[resp.ID] = resp
+	}
+	if occupy := byID["occupy"]; occupy.Outcome != "solved" {
+		t.Fatalf("occupying request: %+v", occupy)
+	}
+	doomed := byID["doomed"]
+	if doomed.Outcome != "failed" || doomed.ErrorCode != "deadline_exceeded_in_queue" {
+		t.Fatalf("doomed report: outcome %q error_code %q, want failed/deadline_exceeded_in_queue (%+v)",
+			doomed.Outcome, doomed.ErrorCode, doomed)
+	}
+	if doomed.QueueWaitMS <= 0 {
+		t.Errorf("expired report must carry the queue wait it burned: %+v", doomed)
+	}
+	if len(doomed.Offsets) != 0 {
+		t.Errorf("no solver ran; the report must carry no offsets: %+v", doomed)
+	}
+}
+
+// A tenant over its bucket maps to shed/tenant_overloaded with a
+// retry-after floor, while the daemon stays available to other tenants.
+func TestHandleTenantOverloaded(t *testing.T) {
+	srv := server.New(server.Config{
+		Workers: 2, DisableDedup: true,
+		// Cache off: a cache hit is served before admission and would never
+		// consult the tenant bucket, hiding the shed this test pins.
+		CacheSize: -1,
+		Tenant:    server.TenantConfig{RPS: 0.001, Burst: 1},
+	})
+	defer srv.Close()
+
+	req := func(id, tenant string) wireRequest {
+		return wireRequest{ID: id, Tenant: tenant, Memory: 8, Buffers: []wireBuffer{{Start: 0, End: 4, Size: 4}}}
+	}
+	if resp := handle(srv, req("h1", "hog")); resp.Outcome != "solved" {
+		t.Fatalf("first request within burst: %+v", resp)
+	}
+	resp := handle(srv, req("h2", "hog"))
+	if resp.Outcome != "shed" || resp.ErrorCode != "tenant_overloaded" {
+		t.Fatalf("over-quota report: outcome %q error_code %q, want shed/tenant_overloaded", resp.Outcome, resp.ErrorCode)
+	}
+	if resp.RetryAfterMS <= 0 {
+		t.Errorf("tenant shed must price the retry: %+v", resp)
+	}
+	if other := handle(srv, req("h3", "bystander")); other.Outcome != "solved" {
+		t.Errorf("bystander tenant throttled: %+v", other)
 	}
 }

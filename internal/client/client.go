@@ -59,6 +59,17 @@ type Request struct {
 	// Timeout caps the server-side budget for this request. The caller's
 	// context deadline, when sooner, shrinks it further at each attempt.
 	Timeout time.Duration
+	// Priority selects the daemon's admission class: "interactive",
+	// "batch", or "background" (empty = batch). Unknown values are
+	// rejected by the daemon with bad_request — a permanent error.
+	Priority string
+	// Tenant attributes the request to a fairness domain for the daemon's
+	// per-tenant quotas. A shed priced against this tenant's own quota
+	// (error_code tenant_overloaded) is retried like any other shed,
+	// honouring the tenant-specific retry_after_ms floor — the floor is
+	// what keeps one throttled tenant from hammering the daemon while
+	// other tenants' traffic flows.
+	Tenant string
 }
 
 // Config tunes a Client. Only Addr is required.
@@ -371,6 +382,8 @@ func (c *Client) attempt(ctx context.Context, req Request, id string) (resp *Rep
 		Memory:   req.Memory,
 		Buffers:  req.Buffers,
 		MaxSteps: req.MaxSteps,
+		Priority: req.Priority,
+		Tenant:   req.Tenant,
 	}
 	// Deadline propagation: the effective server-side pot is the caller's
 	// request timeout shrunk by the context's remaining time, recomputed

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -379,5 +380,179 @@ func TestSubmitAfterCloseAndDialFailure(t *testing.T) {
 	_, err := c2.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer})
 	if !errors.Is(err, ErrRetriesExhausted) {
 		t.Errorf("dead daemon: err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+// The exhausted-retries error must expose the LAST attempt's cause through
+// the errors.Is/As chain — "retries exhausted" alone tells an operator
+// nothing about what kept failing.
+func TestRetriesExhaustedWrapsLastCause(t *testing.T) {
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			reply(conn, wire.Response{ID: req.ID, Outcome: wire.OutcomeShed,
+				ErrorCode: wire.CodeOverloaded, RetryAfterMS: 1, Error: "queue full (depth 7)"})
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 21, MaxAttempts: 2,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	_, err := c.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	var re *retryableError
+	if !errors.As(err, &re) {
+		t.Fatalf("last attempt's typed cause not in the chain: %v", err)
+	}
+	if !strings.Contains(err.Error(), "queue full (depth 7)") {
+		t.Errorf("server's shed message lost from the chain: %v", err)
+	}
+
+	// Same contract when the retryable condition is a failed dial: the net
+	// error must survive in the chain.
+	f.ln.Close()
+	c2 := mustDial(t, Config{Addr: f.addr(), Seed: 23, MaxAttempts: 2,
+		BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	_, err = c2.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("dead daemon: err = %v, want ErrRetriesExhausted", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Errorf("dial failure's net.Error not in the chain: %v", err)
+	}
+}
+
+// Backoff sleeps must abort the moment the caller's context ends — an
+// abandoned retry may not park its goroutine for the full delay.
+func TestBackoffSleepAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sleep(ctx, time.Hour)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sleep held its goroutine %v after cancel", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sleep returned %v, want the context's cause", err)
+	}
+	// An already-dead context never sleeps at all.
+	if err := sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("sleep on dead context returned %v", err)
+	}
+
+	// End to end: a server-priced floor far beyond the caller's patience
+	// must not delay Submit's return past the cancel.
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			reply(conn, wire.Response{ID: req.ID, Outcome: wire.OutcomeShed,
+				ErrorCode: wire.CodeOverloaded, RetryAfterMS: 3_600_000, Error: "overloaded"})
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 25})
+	sctx, scancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer scancel()
+	start = time.Now()
+	_, err = c.Submit(sctx, Request{Memory: 8, Buffers: oneBuffer})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Submit sat in backoff %v after its context expired", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cancelled-in-backoff Submit returned %v, want the context's cause", err)
+	}
+}
+
+// Priority and tenant must reach the daemon verbatim on the wire, and be
+// absent (not empty strings) when unset.
+func TestPriorityAndTenantForwarded(t *testing.T) {
+	var lines [][]byte
+	var mu sync.Mutex
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			if !sc.Scan() {
+				return
+			}
+			mu.Lock()
+			lines = append(lines, append([]byte(nil), sc.Bytes()...))
+			mu.Unlock()
+			var req wire.Request
+			if err := json.Unmarshal(lines[len(lines)-1], &req); err != nil {
+				f.t.Errorf("bad line: %v", err)
+				return
+			}
+			reply(conn, solvedFor(req))
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 27})
+
+	if _, err := c.Submit(context.Background(), Request{ID: "p1", Memory: 8, Buffers: oneBuffer,
+		Priority: "interactive", Tenant: "team-a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(context.Background(), Request{ID: "p2", Memory: 8, Buffers: oneBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("daemon saw %d lines, want 2", len(lines))
+	}
+	var r1 wire.Request
+	json.Unmarshal(lines[0], &r1)
+	if r1.Priority != "interactive" || r1.Tenant != "team-a" {
+		t.Errorf("fields did not reach the wire: %s", lines[0])
+	}
+	for _, key := range []string{"priority", "tenant"} {
+		if strings.Contains(string(lines[1]), `"`+key+`"`) {
+			t.Errorf("unset %s serialised onto the wire (breaks old daemons expecting omitted optionals): %s", key, lines[1])
+		}
+	}
+}
+
+// A tenant_overloaded shed is retryable with the server's floor — the
+// daemon as a whole may be fine, only this tenant's bucket is empty.
+func TestTenantOverloadedRetries(t *testing.T) {
+	const floorMS = 30
+	f := newFake(t)
+	f.serve(func(conn net.Conn, sc *bufio.Scanner) {
+		for {
+			req, ok := f.readReq(sc)
+			if !ok {
+				return
+			}
+			if len(f.requests()) == 1 {
+				reply(conn, wire.Response{ID: req.ID, Outcome: wire.OutcomeShed,
+					ErrorCode: wire.CodeTenantOverloaded, RetryAfterMS: floorMS, Error: "tenant over quota"})
+				continue
+			}
+			reply(conn, solvedFor(req))
+		}
+	})
+	c := mustDial(t, Config{Addr: f.addr(), Seed: 29, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	resp, err := c.Submit(context.Background(), Request{Memory: 8, Buffers: oneBuffer, Tenant: "hog"})
+	if err != nil || resp.Outcome != wire.OutcomeSolved {
+		t.Fatalf("resp %+v err %v", resp, err)
+	}
+	at := f.arrivals()
+	if len(at) != 2 {
+		t.Fatalf("daemon saw %d requests, want 2", len(at))
+	}
+	if gap := at[1].Sub(at[0]); gap < floorMS*time.Millisecond {
+		t.Errorf("retry arrived %v after the tenant shed, violating the %dms floor", gap, floorMS)
 	}
 }

@@ -47,6 +47,24 @@ const (
 	PointServerHedge = "server:hedge"
 	// PointServerDrain fires once when a drain begins.
 	PointServerDrain = "server:drain"
+	// PointServerBrownout fires on every brownout-controller evaluation
+	// tick, before queue-wait pressure is compared against the target. A
+	// starve makes that tick observe saturated pressure regardless of the
+	// real p90 — the deterministic way to force the ladder down a level
+	// without generating real load; a panic must be contained by the
+	// brownout loop.
+	PointServerBrownout = "server:brownout"
+	// PointServerExpire fires when the server starts an eager expiry sweep
+	// over the queue (a push found a class full). A starve makes the sweep
+	// treat every deadline-carrying queued job as already expired — the
+	// deterministic way to exercise eager eviction without waiting out
+	// real budgets.
+	PointServerExpire = "server:expire"
+	// PointServerTenant fires when a tenant-labelled request reaches the
+	// per-tenant admission check. A starve makes the check deny as if the
+	// tenant's token bucket were empty — the deterministic way to force a
+	// tenant shed; a panic must be contained by Submit.
+	PointServerTenant = "server:tenant"
 	// PointServerWatchdog fires on every solve-watchdog scan. A stall
 	// models a descheduled watchdog; a panic must be contained by the
 	// watchdog loop; a starve makes the watchdog treat every scanned job

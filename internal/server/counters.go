@@ -25,6 +25,12 @@ type counters struct {
 	hintReplays      atomic.Int64
 	watchdogScans    atomic.Int64
 	watchdogKills    atomic.Int64
+	expiredDequeued  atomic.Int64
+	expiredEvicted   atomic.Int64
+	tenantShed       atomic.Int64
+	brownoutDegrades atomic.Int64
+	brownoutRecovers atomic.Int64
+	brownoutMarked   atomic.Int64
 }
 
 // Counters is a point-in-time snapshot of the service counters.
@@ -71,6 +77,21 @@ type Counters struct {
 	// under Failed once the worker delivers the typed verdict.
 	WatchdogScans int64
 	WatchdogKills int64
+	// ExpiredInQueue counts requests whose budget ran out while queued and
+	// were short-circuited at dequeue; ExpiredEvicted counts those removed
+	// by an eager eviction sweep before any worker touched them. Both are
+	// also counted under Failed — these annotate how the failure happened.
+	ExpiredInQueue int64
+	ExpiredEvicted int64
+	// TenantShed counts sheds decided by per-tenant limits (token bucket
+	// or in-flight share). Each is also counted under Shed.
+	TenantShed int64
+	// BrownoutDegrades / BrownoutRecovers count brownout-ladder level
+	// transitions (down and up). BrownoutDegraded counts responses
+	// delivered with the DegradedByBrownout marker set.
+	BrownoutDegrades int64
+	BrownoutRecovers int64
+	BrownoutDegraded int64
 	// CacheHits / CacheMisses count solution-cache lookups; CacheNearHits
 	// counts shape-only matches that seeded a hint. CacheInsertions -
 	// CacheEvictions == CacheLen while the server lives. All zero when the
@@ -106,6 +127,12 @@ func (s *Server) Snapshot() Counters {
 		HintReplays:       c.hintReplays.Load(),
 		WatchdogScans:     c.watchdogScans.Load(),
 		WatchdogKills:     c.watchdogKills.Load(),
+		ExpiredInQueue:    c.expiredDequeued.Load(),
+		ExpiredEvicted:    c.expiredEvicted.Load(),
+		TenantShed:        c.tenantShed.Load(),
+		BrownoutDegrades:  c.brownoutDegrades.Load(),
+		BrownoutRecovers:  c.brownoutRecovers.Load(),
+		BrownoutDegraded:  c.brownoutMarked.Load(),
 	}
 	if s.cache != nil {
 		cc := s.cache.Counters()

@@ -38,6 +38,14 @@ const (
 	metricWatchdogKills   = "telamalloc_watchdog_kills_total"
 	metricWatchdogActive  = "telamalloc_watchdog_active_jobs"
 	metricWatchdogOverrun = "telamalloc_watchdog_overrun_seconds"
+
+	metricClassDepth = "telamalloc_server_class_queue_depth"
+	metricExpired    = "telamalloc_server_expired_in_queue_total"
+	metricTenantShed = "telamalloc_server_tenant_shed_total"
+
+	metricBrownoutLevel       = "telamalloc_brownout_level"
+	metricBrownoutTransitions = "telamalloc_brownout_transitions_total"
+	metricBrownoutDegraded    = "telamalloc_brownout_degraded_total"
 )
 
 // serverMetrics holds the stateful series the serve path observes into;
@@ -66,7 +74,13 @@ func (s *Server) bindMetrics() {
 		watchdogOverrun: r.Histogram(metricWatchdogOverrun, "how far past their watchdog deadline killed jobs had run"),
 	}
 	r.GaugeFunc(metricQueueDepth, "current admission queue occupancy",
-		func() int64 { return int64(len(s.queue)) })
+		func() int64 { return int64(s.queue.len()) })
+	for c := 0; c < numClasses; c++ {
+		c := c
+		r.GaugeFunc(metricClassDepth, "current queue occupancy per admission class",
+			func() int64 { return int64(s.queue.lenClass(c)) },
+			obs.Label{Key: "class", Value: string(classOrder[c])})
+	}
 
 	c := &s.counters
 	r.CounterFunc(metricSubmitted, "Submit calls", c.submitted.Load)
@@ -104,6 +118,32 @@ func (s *Server) bindMetrics() {
 	r.CounterFunc(metricWatchdogScans, "solve-watchdog passes over the active-job registry", c.watchdogScans.Load)
 	r.CounterFunc(metricWatchdogKills, "jobs force-cancelled for overrunning the watchdog budget multiple", c.watchdogKills.Load)
 	r.GaugeFunc(metricWatchdogActive, "jobs currently watched by the solve watchdog", s.watchdogActive)
+
+	for _, e := range []struct {
+		label string
+		fn    func() int64
+	}{
+		{"dequeue", c.expiredDequeued.Load},
+		{"evict", c.expiredEvicted.Load},
+	} {
+		r.CounterFunc(metricExpired, "requests whose budget expired while queued, by detection point", e.fn,
+			obs.Label{Key: "point", Value: e.label})
+	}
+	r.CounterFunc(metricTenantShed, "requests shed by per-tenant limits", c.tenantShed.Load)
+
+	r.GaugeFunc(metricBrownoutLevel, "current brownout ladder level (0 = full service)",
+		func() int64 { return int64(s.brown.currentLevel()) })
+	for _, e := range []struct {
+		label string
+		fn    func() int64
+	}{
+		{"degrade", c.brownoutDegrades.Load},
+		{"recover", c.brownoutRecovers.Load},
+	} {
+		r.CounterFunc(metricBrownoutTransitions, "brownout ladder level transitions", e.fn,
+			obs.Label{Key: "direction", Value: e.label})
+	}
+	r.CounterFunc(metricBrownoutDegraded, "responses delivered with the degraded-by-brownout marker", c.brownoutMarked.Load)
 
 	for _, e := range []struct {
 		label string

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Priority is a request's admission class. Classes do not change answers —
+// a solved packing is the same bytes at any priority — they change who
+// waits and who is shed when the service is saturated (DESIGN.md §14).
+type Priority string
+
+const (
+	// PriorityInteractive is latency-critical traffic (a compile a human
+	// is waiting on). Dequeued first; its queue bound is never consumed by
+	// lower classes.
+	PriorityInteractive Priority = "interactive"
+	// PriorityBatch is the default class: bulk compilation, CI. An empty
+	// Priority means batch.
+	PriorityBatch Priority = "batch"
+	// PriorityBackground is best-effort traffic (benchmark sweeps,
+	// speculative warmup). First to degrade, last to dequeue.
+	PriorityBackground Priority = "background"
+)
+
+// numClasses is the number of admission classes; class indices are dequeue
+// order (0 dequeues first).
+const numClasses = 3
+
+// classOrder maps class index back to the canonical Priority name, for
+// labels and shed reports.
+var classOrder = [numClasses]Priority{PriorityInteractive, PriorityBatch, PriorityBackground}
+
+// class maps a Priority to its class index. The empty string is batch: the
+// wire field is optional and absent must mean exactly what PR-4 traffic
+// got. Unknown values are reported, not guessed at — silently downgrading
+// a typo'd "interactive" would hide the misconfiguration exactly when
+// latency matters.
+func (p Priority) class() (int, bool) {
+	switch p {
+	case PriorityInteractive:
+		return 0, true
+	case PriorityBatch, "":
+		return 1, true
+	case PriorityBackground:
+		return 2, true
+	}
+	return 0, false
+}
+
+// Valid reports whether p names a known admission class (empty counts: it
+// is the documented spelling of batch).
+func (p Priority) Valid() bool { _, ok := p.class(); return ok }
+
+// pushStatus is the outcome of a classQueue push.
+type pushStatus int
+
+const (
+	pushOK     pushStatus = iota // enqueued
+	pushFull                     // the job's class is at its bound
+	pushClosed                   // the queue is closed (server draining)
+)
+
+// classQueue is the admission queue: one bounded FIFO per priority class
+// with strict-priority dequeue. It replaces the single buffered channel so
+// that (a) a batch flood filling its own lane can never consume the
+// interactive lane's slots, and (b) the server can walk the queue to evict
+// jobs whose deadlines already expired — neither is expressible on a
+// channel. Close semantics mirror a closed channel's: pushes report
+// pushClosed, pops keep draining until empty, then report closed.
+type classQueue struct {
+	mu     sync.Mutex
+	nempty *sync.Cond // signalled on push and close
+	jobs   [numClasses][]*job
+	bound  [numClasses]int
+	closed bool
+}
+
+func newClassQueue(bound [numClasses]int) *classQueue {
+	q := &classQueue{bound: bound}
+	q.nempty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j into its class lane, or reports why it cannot.
+func (q *classQueue) push(j *job) pushStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return pushClosed
+	}
+	c := j.class
+	if len(q.jobs[c]) >= q.bound[c] {
+		return pushFull
+	}
+	q.jobs[c] = append(q.jobs[c], j)
+	q.nempty.Signal()
+	return pushOK
+}
+
+// pop blocks until a job is available and returns the oldest job of the
+// highest-priority non-empty class. ok is false only once the queue is
+// closed AND empty — queued work admitted before a drain is still served.
+func (q *classQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for c := 0; c < numClasses; c++ {
+			if len(q.jobs[c]) > 0 {
+				j = q.jobs[c][0]
+				q.jobs[c][0] = nil // release the reference; lanes are long-lived
+				q.jobs[c] = q.jobs[c][1:]
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.nempty.Wait()
+	}
+}
+
+// close stops admissions and wakes every blocked pop so idle workers can
+// exit once the lanes drain.
+func (q *classQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nempty.Broadcast()
+}
+
+// evictExpired removes and returns every queued job whose deadline has
+// passed (jobs without a deadline are never evicted). With force set,
+// every deadline-carrying job is treated as expired — the deterministic
+// lever behind the server:expire starve fault. FIFO order within each lane
+// is preserved for the survivors.
+func (q *classQueue) evictExpired(now time.Time, force bool) []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var evicted []*job
+	for c := 0; c < numClasses; c++ {
+		kept := q.jobs[c][:0]
+		for _, j := range q.jobs[c] {
+			if !j.expires.IsZero() && (force || !now.Before(j.expires)) {
+				evicted = append(evicted, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		// Nil the tail so evicted jobs aren't pinned by the lane's backing
+		// array.
+		for i := len(kept); i < len(q.jobs[c]); i++ {
+			q.jobs[c][i] = nil
+		}
+		q.jobs[c] = kept
+	}
+	return evicted
+}
+
+// len reports total queue occupancy across classes.
+func (q *classQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for c := 0; c < numClasses; c++ {
+		n += len(q.jobs[c])
+	}
+	return n
+}
+
+// lenClass reports one class lane's occupancy.
+func (q *classQueue) lenClass(c int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs[c])
+}
+
+// lenAhead reports the work queued at or above the given class's priority —
+// the jobs a new arrival of that class would wait behind. This is the depth
+// retry-after pricing uses: a shed background request behind a deep
+// interactive backlog must not be told to come back in a millisecond.
+func (q *classQueue) lenAhead(class int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for c := 0; c <= class && c < numClasses; c++ {
+		n += len(q.jobs[c])
+	}
+	return n
+}

@@ -48,6 +48,16 @@ var (
 	// carries OutcomeFailed. Deliberately distinct from ErrCancelled: the
 	// caller did nothing; the solve wedged.
 	ErrWatchdog = errors.New("server: solve watchdog killed request")
+	// ErrExpiredInQueue is wrapped by the error Submit returns (alongside
+	// telamalloc.ErrBudget) when a request's wall budget ran out while it
+	// was still queued — at dequeue, or during an eager eviction sweep.
+	// No solver step was spent on it. The Response carries OutcomeFailed.
+	// Not retryable as-is: the same budget pushed through the same
+	// congestion expires again; raise the budget or back off.
+	ErrExpiredInQueue = errors.New("server: deadline exceeded in queue")
+	// ErrBadPriority rejects a request whose Priority names no known
+	// admission class. Typos are surfaced, never silently downgraded.
+	ErrBadPriority = errors.New("server: unknown priority class")
 )
 
 // OverloadError is the typed load-shed error: the queue was full (or
@@ -67,10 +77,26 @@ type OverloadError struct {
 	// never RetryAfter alone. internal/client implements this contract
 	// and tests that a fleet shed with one floor spreads its retries.
 	RetryAfter time.Duration
+	// Class is the admission class the shed request carried. QueueDepth
+	// is class-aware: the work queued at or above Class's priority — what
+	// the request would actually have waited behind — not total queue
+	// occupancy.
+	Class Priority
+	// Tenant is the request's tenant label when the shed was a per-tenant
+	// decision ("" for global sheds).
+	Tenant string
+	// Reason says why the request was shed: ShedQueueFull,
+	// ShedTenantRate, or ShedTenantShare ("" from servers predating
+	// overload control; treat as ShedQueueFull).
+	Reason string
 }
 
 func (e *OverloadError) Error() string {
-	return fmt.Sprintf("server: overloaded (queue depth %d), retry after %v", e.QueueDepth, e.RetryAfter)
+	msg := fmt.Sprintf("server: overloaded (queue depth %d), retry after %v", e.QueueDepth, e.RetryAfter)
+	if e.Tenant != "" {
+		msg += fmt.Sprintf(" (tenant %q: %s)", e.Tenant, e.Reason)
+	}
+	return msg
 }
 
 // Unwrap makes errors.Is(err, ErrOverloaded) work.
@@ -95,6 +121,15 @@ type Request struct {
 	// (Config.Tracer). Empty is fine — spans are still emitted, they are
 	// just not attributable to one request.
 	TraceID string
+	// Priority selects the admission class (DESIGN.md §14): interactive
+	// dequeues first and is never shed by lower-class floods; background
+	// degrades first under brownout. Empty means PriorityBatch. Unknown
+	// values are rejected with ErrBadPriority.
+	Priority Priority
+	// Tenant attributes the request to a fairness domain for per-tenant
+	// token buckets and in-flight shares (Config.Tenant). Empty bypasses
+	// tenant accounting.
+	Tenant string
 }
 
 // Response is the structured per-request report.
@@ -142,6 +177,13 @@ type Response struct {
 	// it back through Request.Hint to warm-start a repeat. Excluded from
 	// CanonicalJSON (it is derived data, not part of the verdict).
 	Trace *telamalloc.DecisionTrace
+	// DegradedByBrownout marks a verdict produced while the brownout
+	// controller had this request's ladder degraded — its step pot was
+	// shrunk or its search stage dropped. The packing is still valid; the
+	// marker says it was bought at reduced quality. Load-dependent, hence
+	// excluded from CanonicalJSON (and never set when the controller is
+	// idle, which is what keeps no-overload responses byte-identical).
+	DegradedByBrownout bool
 }
 
 // canonicalResponse is the deterministic subset of Response: everything a

@@ -64,9 +64,25 @@ type Config struct {
 	// Workers is the number of concurrent pipeline executions (default
 	// GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds the admission queue (default 64). Submit sheds
-	// instead of blocking when it is full.
+	// QueueDepth bounds each admission class's queue lane (default 64).
+	// Submit sheds instead of blocking when the request's class lane is
+	// full — lanes are independent, so a batch flood filling its own lane
+	// can never shed interactive traffic.
 	QueueDepth int
+	// ClassDepth overrides QueueDepth per admission class (entries ≤ 0 or
+	// with unknown keys are ignored). Sizing guidance: interactive lanes
+	// deep enough to absorb bursts, background lanes shallow so stale
+	// best-effort work sheds early.
+	ClassDepth map[Priority]int
+	// Tenant enables per-tenant fair shedding (token buckets + in-flight
+	// share). Zero value = disabled; limits apply only to requests that
+	// carry a Tenant label.
+	Tenant TenantConfig
+	// Brownout enables the brownout controller: under sustained queue-wait
+	// pressure it steps the service down a degradation ladder (shrink step
+	// pots → disable hedging → skip search for batch/background) and back
+	// up when pressure clears, with hysteresis. Zero value = disabled.
+	Brownout BrownoutConfig
 	// RequestTimeout is the default per-request wall-clock pot, measured
 	// from Submit (0 = none). Request.Timeout can only shrink it.
 	RequestTimeout time.Duration
@@ -95,8 +111,9 @@ type Config struct {
 	DisableDedup bool
 	// Hook is the test-only fault-injection hook, threaded through the
 	// server's own decision points (server:admit, server:dequeue,
-	// server:hedge, server:drain) and into the pipeline's stage and
-	// solver points. Must be nil in production configurations.
+	// server:hedge, server:drain, server:brownout, server:expire,
+	// server:tenant) and into the pipeline's stage and solver points.
+	// Must be nil in production configurations.
 	Hook func(point string) bool
 	// Obs, when non-nil, routes the server's metrics — queue depth, wait and
 	// service histograms, the func-backed counter ledger — and every solve's
@@ -124,14 +141,34 @@ func (c Config) withDefaults() Config {
 	}
 	c.Breaker = c.Breaker.withDefaults()
 	c.Watchdog = c.Watchdog.withDefaults()
+	c.Tenant = c.Tenant.withDefaults()
+	c.Brownout = c.Brownout.withDefaults()
 	return c
+}
+
+// classBounds resolves the per-class queue bounds: QueueDepth everywhere,
+// overridden by ClassDepth.
+func (c Config) classBounds() [numClasses]int {
+	var bounds [numClasses]int
+	for i := range bounds {
+		bounds[i] = c.QueueDepth
+	}
+	for p, d := range c.ClassDepth {
+		if idx, ok := p.class(); ok && d > 0 {
+			bounds[idx] = d
+		}
+	}
+	return bounds
 }
 
 // Server is the long-lived allocation service. Build with New; it is safe
 // for concurrent use by any number of clients.
 type Server struct {
 	cfg   Config
-	queue chan *job
+	queue *classQueue
+
+	tenants *tenantTable // nil when Config.Tenant is disabled
+	brown   *brownout    // nil when Config.Brownout is disabled
 
 	admitMu  sync.RWMutex // guards draining vs. enqueue (see Submit)
 	draining bool
@@ -156,6 +193,10 @@ type Server struct {
 	wdStopOnce sync.Once
 	wdDone     chan struct{}
 
+	bwStop     chan struct{} // brownout controller lifecycle, mirrors wd*
+	bwStopOnce sync.Once
+	bwDone     chan struct{}
+
 	flightMu sync.Mutex
 	flights  map[string]*flight
 }
@@ -177,6 +218,9 @@ type job struct {
 	stop      func() bool // deregisters the force-cancel AfterFunc
 	submitted time.Time
 	budget    time.Duration // effective wall pot (0 = none)
+	class     int           // admission class index (see Priority.class)
+	expires   time.Time     // submitted + budget; zero when budget == 0
+	release   func()        // returns the tenant's in-flight slot; may be nil
 
 	settled atomic.Bool
 	done    chan struct{}
@@ -194,15 +238,28 @@ func (j *job) settle() bool { return j.settled.CompareAndSwap(false, true) }
 // New builds and starts the server. Stop it with Drain or Close.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	bounds := cfg.classBounds()
 	s := &Server{
 		cfg:      cfg,
-		queue:    make(chan *job, cfg.QueueDepth),
+		queue:    newClassQueue(bounds),
 		breakers: make(map[string]*breaker, len(pipelineStages)),
 		latency:  stats.NewEWMA(0.2),
 		flights:  make(map[string]*flight),
 		wdJobs:   make(map[*job]struct{}),
 		wdStop:   make(chan struct{}),
 		wdDone:   make(chan struct{}),
+		bwStop:   make(chan struct{}),
+		bwDone:   make(chan struct{}),
+	}
+	if cfg.Tenant.enabled() {
+		capacity := cfg.Workers
+		for _, b := range bounds {
+			capacity += b
+		}
+		s.tenants = newTenantTable(cfg.Tenant, capacity)
+	}
+	if cfg.Brownout.enabled() {
+		s.brown = newBrownout(cfg.Brownout)
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New(cfg.CacheSize)
@@ -220,6 +277,11 @@ func New(cfg Config) *Server {
 		go s.watchdogLoop()
 	} else {
 		close(s.wdDone)
+	}
+	if s.brown != nil {
+		go s.brownoutLoop()
+	} else {
+		close(s.bwDone)
 	}
 	return s
 }
@@ -258,6 +320,14 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 
 // submit is Submit's body, running inside the root request span.
 func (s *Server) submit(ctx context.Context, req Request, t0 time.Time) (*Response, error) {
+	class, ok := req.Priority.class()
+	if !ok {
+		// A typo'd class is a bad request, not a degraded one — counted as
+		// failed so the terminal-outcome ledger still balances.
+		s.counters.failed.Add(1)
+		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "bad_priority"})
+		return nil, fmt.Errorf("%w %q", ErrBadPriority, req.Priority)
+	}
 	starve, herr := s.hookPoint(faultinject.PointServerAdmit)
 	if herr != nil {
 		s.counters.failed.Add(1)
@@ -266,7 +336,7 @@ func (s *Server) submit(ctx context.Context, req Request, t0 time.Time) (*Respon
 	if starve {
 		// A starved admission models exhausted admission capacity: shed.
 		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "shed"})
-		return nil, s.shed()
+		return nil, s.shed(class)
 	}
 
 	// Draining rejects before the reuse layer: a server that is shutting
@@ -448,6 +518,7 @@ func (s *Server) awaitFlight(ctx context.Context, f *flight, req Request, q *buf
 // the solution cache. t0 is the Submit entry time, so queue-wait accounting
 // and the request budget span reuse-layer time too.
 func (s *Server) submitQueued(ctx context.Context, req Request, t0 time.Time, fp cache.Fingerprint, perm []int) (*Response, error) {
+	class, _ := req.Priority.class() // validated at the top of submit
 	jctx, cancel := context.WithCancel(ctx)
 	j := &job{
 		req:       req,
@@ -456,32 +527,75 @@ func (s *Server) submitQueued(ctx context.Context, req Request, t0 time.Time, fp
 		stop:      context.AfterFunc(s.forceCtx, cancel),
 		submitted: t0,
 		budget:    s.effectiveBudget(req),
+		class:     class,
 		done:      make(chan struct{}),
+	}
+	if j.budget > 0 {
+		j.expires = t0.Add(j.budget)
+	}
+
+	// Per-tenant admission runs before the queue: a tenant over its rate
+	// or share is shed without consuming a queue slot. The release func
+	// returns the in-flight slot on every exit — settle, eviction, or a
+	// failed enqueue below.
+	if s.tenants != nil && req.Tenant != "" {
+		tstarve, therr := s.hookPoint(faultinject.PointServerTenant)
+		if therr != nil {
+			j.stop()
+			cancel()
+			s.counters.failed.Add(1)
+			return nil, therr
+		}
+		release, reason, rateWait := s.tenants.admit(req.Tenant, time.Now(), tstarve)
+		if reason != "" {
+			j.stop()
+			cancel()
+			s.traceEvent(req.TraceID, "admit", time.Now(), 0,
+				map[string]any{"verdict": "tenant_shed", "tenant": req.Tenant, "reason": reason})
+			return nil, s.shedTenant(class, req.Tenant, reason, rateWait)
+		}
+		j.release = release
 	}
 
 	// The RLock makes "set draining, then close the queue" safe: Drain
-	// takes the write lock between those steps, so no Submit can be
-	// mid-send when the channel closes.
+	// takes the write lock between those steps, so no Submit can observe
+	// not-draining stale enough to matter (and a push that still loses the
+	// race reports pushClosed and is rejected the same way).
 	s.admitMu.RLock()
 	if s.draining {
 		s.admitMu.RUnlock()
-		j.stop()
-		cancel()
-		s.counters.rejectedDraining.Add(1)
-		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "draining"})
-		return nil, ErrDraining
+		return nil, s.rejectDraining(j)
 	}
-	select {
-	case s.queue <- j:
+	st := s.queue.push(j)
+	s.admitMu.RUnlock()
+	if st == pushFull {
+		// The class lane is full. Before shedding, sweep out queued jobs
+		// whose deadlines already passed — dead work holding live slots —
+		// and retry once. Under pressure this converts "shed a live
+		// request" into "evict a doomed one".
+		s.expireSweep(time.Now())
+		s.admitMu.RLock()
+		if s.draining {
+			s.admitMu.RUnlock()
+			return nil, s.rejectDraining(j)
+		}
+		st = s.queue.push(j)
 		s.admitMu.RUnlock()
+	}
+	switch st {
+	case pushOK:
 		s.counters.admitted.Add(1)
 		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "admitted"})
-	default:
-		s.admitMu.RUnlock()
+	case pushClosed:
+		return nil, s.rejectDraining(j)
+	default: // pushFull
 		j.stop()
 		cancel()
+		if j.release != nil {
+			j.release()
+		}
 		s.traceEvent(req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "shed"})
-		return nil, s.shed()
+		return nil, s.shed(class)
 	}
 
 	select {
@@ -520,27 +634,143 @@ func (s *Server) cachePut(resp *Response, err error, fp cache.Fingerprint, perm 
 	}
 }
 
-// shed records a load-shed and prices the retry-after hint.
-func (s *Server) shed() error {
-	depth := len(s.queue)
-	s.counters.shed.Add(1)
-	return &OverloadError{QueueDepth: depth, RetryAfter: s.retryAfter(depth)}
+// rejectDraining is the common admission-refused-by-drain exit: undo the
+// job's registrations and report ErrDraining.
+func (s *Server) rejectDraining(j *job) error {
+	j.stop()
+	j.cancel()
+	if j.release != nil {
+		j.release()
+	}
+	s.counters.rejectedDraining.Add(1)
+	s.traceEvent(j.req.TraceID, "admit", time.Now(), 0, map[string]any{"verdict": "draining"})
+	return ErrDraining
 }
+
+// shed records a load-shed and prices the retry-after hint. Depth is
+// class-aware: the work queued at or above the request's class — what it
+// would actually have waited behind.
+func (s *Server) shed(class int) error {
+	depth := s.queue.lenAhead(class)
+	s.counters.shed.Add(1)
+	return &OverloadError{
+		QueueDepth: depth,
+		RetryAfter: s.retryAfter(depth),
+		Class:      classOrder[class],
+		Reason:     ShedQueueFull,
+	}
+}
+
+// shedTenant records a per-tenant shed. The retry-after floor is the larger
+// of the global congestion estimate and the tenant's own bucket-refill
+// time — a rate-limited tenant retrying into an idle server must still wait
+// out its own quota.
+func (s *Server) shedTenant(class int, tenant, reason string, rateWait time.Duration) error {
+	depth := s.queue.lenAhead(class)
+	ra := s.retryAfter(depth)
+	if rateWait > ra {
+		ra = rateWait
+	}
+	if ra > maxRetryAfter {
+		ra = maxRetryAfter
+	}
+	s.counters.shed.Add(1)
+	s.counters.tenantShed.Add(1)
+	return &OverloadError{
+		QueueDepth: depth,
+		RetryAfter: ra,
+		Class:      classOrder[class],
+		Tenant:     tenant,
+		Reason:     reason,
+	}
+}
+
+// maxRetryAfter caps the retry-after hint. Without it a pathological
+// latency estimate (one multi-minute solve observed into the EWMA) would
+// tell shed callers to go away for hours — a self-inflicted outage that
+// outlives the congestion it was priced from.
+const maxRetryAfter = time.Minute
 
 // retryAfter estimates when a slot frees up: the work ahead of the caller
 // (depth+1 requests) divided across the workers, at the observed per-request
 // service latency. Floored at 1ms so callers never busy-loop on a cold
-// estimator.
+// estimator; capped at maxRetryAfter so one slow solve cannot price callers
+// out for hours. Monotonically non-decreasing in depth (a table test pins
+// this — clients infer congestion severity from the hint).
 func (s *Server) retryAfter(depth int) time.Duration {
 	lat := time.Duration(s.latency.Value())
 	if lat < time.Millisecond {
 		lat = time.Millisecond
 	}
+	if lat > maxRetryAfter {
+		// Pre-clamp so the multiply below cannot overflow int64 at any
+		// realistic depth.
+		lat = maxRetryAfter
+	}
+	if depth < 0 {
+		depth = 0
+	}
 	ra := time.Duration(depth+1) * lat / time.Duration(s.cfg.Workers)
 	if ra < time.Millisecond {
 		ra = time.Millisecond
 	}
+	if ra > maxRetryAfter {
+		ra = maxRetryAfter
+	}
 	return ra
+}
+
+// expireSweep eagerly evicts queued jobs whose deadlines have passed and
+// settles each with the typed expiry verdict. force (the server:expire
+// starve lever) treats every deadline-carrying job as expired.
+func (s *Server) expireSweep(now time.Time) {
+	force, herr := s.hookPoint(faultinject.PointServerExpire)
+	if herr != nil {
+		// A panicking hook is contained and counted; skip the sweep.
+		return
+	}
+	for _, j := range s.queue.evictExpired(now, force) {
+		s.expireJob(j, now)
+	}
+}
+
+// expiredErr builds the typed expired-in-queue error. It wraps both
+// ErrExpiredInQueue (the queue discipline's typed verdict) and
+// telamalloc.ErrBudget (what the budget-expiry has always worn), so both
+// errors.Is checks hold.
+func expiredErr(budget, wait time.Duration) error {
+	return fmt.Errorf("%w: %w: request budget %v exhausted in queue (waited %v)",
+		ErrExpiredInQueue, telamalloc.ErrBudget, budget, wait)
+}
+
+// expireJob settles one evicted job with the expired-in-queue verdict. The
+// job never reaches a worker: its queue wait is observed (the wait
+// histograms count every admitted request exactly once) but no service
+// time is, and no solver step is spent.
+func (s *Server) expireJob(j *job, now time.Time) {
+	defer j.stop()
+	defer j.cancel()
+	if j.release != nil {
+		j.release()
+	}
+	wait := now.Sub(j.submitted)
+	s.metrics.queueWait.ObserveDuration(wait.Nanoseconds())
+	s.brown.observe(wait)
+	s.traceEvent(j.req.TraceID, "queue", j.submitted, wait, nil)
+	err := expiredErr(j.budget, wait)
+	resp := &Response{
+		Outcome:   OutcomeFailed,
+		Memory:    j.req.Problem.Memory,
+		Err:       err.Error(),
+		QueueWait: wait,
+	}
+	j.resp, j.err = resp, err
+	if j.settle() {
+		s.counters.failed.Add(1)
+		s.counters.expiredEvicted.Add(1)
+		s.traceEvent(j.req.TraceID, "expire", now, 0, map[string]any{"verdict": "evicted", "waited_ms": float64(wait) / float64(time.Millisecond)})
+	}
+	close(j.done)
 }
 
 // hookPoint announces a server decision point to the fault hook with the
@@ -563,7 +793,11 @@ func (s *Server) hookPoint(point string) (starve bool, err error) {
 // worker drains the queue until Drain closes it.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.serveJob(j)
 	}
 }
@@ -572,10 +806,14 @@ func (s *Server) worker() {
 func (s *Server) serveJob(j *job) {
 	defer j.stop()
 	defer j.cancel()
+	if j.release != nil {
+		defer j.release()
+	}
 	unwatch := s.watchJob(j)
 	defer unwatch()
 	wait := time.Since(j.submitted)
 	s.metrics.queueWait.ObserveDuration(wait.Nanoseconds())
+	s.brown.observe(wait)
 	s.traceEvent(j.req.TraceID, "queue", j.submitted, wait, nil)
 	start := time.Now()
 	resp, err := s.runJob(j, wait)
@@ -591,6 +829,9 @@ func (s *Server) serveJob(j *job) {
 	if delivered {
 		if resp != nil && resp.HintReplayed {
 			s.counters.hintReplays.Add(1)
+		}
+		if resp != nil && resp.DegradedByBrownout {
+			s.counters.brownoutMarked.Add(1)
 		}
 		switch {
 		case err == nil && resp.Outcome == OutcomeDegraded:
@@ -619,6 +860,9 @@ func (s *Server) serveJob(j *job) {
 			}
 			if resp.HedgeWon {
 				attrs["hedge_won"] = true
+			}
+			if resp.DegradedByBrownout {
+				attrs["degraded_by_brownout"] = true
 			}
 			if len(resp.SkippedByBreaker) > 0 {
 				attrs["skipped_by_breaker"] = resp.SkippedByBreaker
@@ -665,16 +909,37 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 	if j.budget > 0 {
 		timeout = j.budget - wait
 		if timeout <= 0 {
-			// The pot was spent waiting in line. Answering ErrBudget here —
+			// The pot was spent waiting in line. The typed short-circuit —
 			// instead of running a doomed 0-budget pipeline — keeps
-			// shedding latency bounded under sustained overload.
-			err = fmt.Errorf("%w: request budget %v exhausted in queue (waited %v)",
-				telamalloc.ErrBudget, j.budget, wait)
+			// shedding latency bounded under sustained overload and spends
+			// zero solver steps on dead work.
+			s.counters.expiredDequeued.Add(1)
+			err = expiredErr(j.budget, wait)
 			return &Response{Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: err.Error()}, err
 		}
 	}
 
+	// The brownout level is read once per job: a mid-solve transition
+	// affects the next job, never a running one.
+	level := s.brown.currentLevel()
+	browned := false
+
 	ladder, skipped, decisions := s.admitStages()
+	if level >= brownoutNoSearch && j.class != 0 {
+		// Level 3: drop the expensive search stage for batch/background.
+		// Interactive keeps its full ladder at every brownout level.
+		trimmed := make([]string, 0, len(ladder))
+		for _, st := range ladder {
+			if st == telamalloc.StageSearch {
+				continue
+			}
+			trimmed = append(trimmed, st)
+		}
+		if len(trimmed) > 0 && len(trimmed) < len(ladder) {
+			ladder = trimmed
+			browned = true
+		}
+	}
 	ladderCtx, cancelLadder := context.WithCancel(j.ctx)
 	defer cancelLadder()
 	opts := []telamalloc.Option{
@@ -685,6 +950,19 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 	maxSteps := s.cfg.MaxSteps
 	if j.req.MaxSteps > 0 {
 		maxSteps = j.req.MaxSteps
+	}
+	if level >= brownoutShrinkPots && maxSteps > 0 {
+		// Levels 1+: halve the step pot per level. The request still gets
+		// an answer — greedy and best-fit are step-free — it just buys
+		// less search for it.
+		shrunk := maxSteps >> level
+		if shrunk < 1 {
+			shrunk = 1
+		}
+		if shrunk < maxSteps {
+			maxSteps = shrunk
+			browned = true
+		}
 	}
 	if maxSteps > 0 {
 		opts = append(opts, telamalloc.WithMaxSteps(maxSteps))
@@ -724,7 +1002,9 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 		s.traceStages(j.req.TraceID, res)
 		ch <- attempt{main: true, resp: responseFrom(res, perr, skipped), err: perr}
 	}()
-	hedgePending := s.cfg.Hedge
+	// Level 2+: no hedging. Hedges never change answers, only burn
+	// capacity racing the ladder — exactly what a saturated server lacks.
+	hedgePending := s.cfg.Hedge && level < brownoutNoHedge
 	if hedgePending {
 		s.bgWG.Add(1)
 		go func() {
@@ -765,6 +1045,13 @@ func (s *Server) runJob(j *job, wait time.Duration) (resp *Response, err error) 
 					return &Response{Outcome: OutcomeFailed, Memory: j.req.Problem.Memory, Err: werr.Error()}, werr
 				}
 				return nil, fmt.Errorf("%w: %v", ErrCancelled, a.err)
+			}
+			if browned && a.resp != nil {
+				// The verdict was bought with a degraded ladder (shrunk
+				// pot or dropped search) — mark it. Hedge wins are never
+				// marked: a heuristic's full packing is the same bytes
+				// browned or not.
+				a.resp.DegradedByBrownout = true
 			}
 			return a.resp, a.err
 		}
@@ -917,16 +1204,20 @@ func (s *Server) Drain(ctx context.Context) error {
 			// already counted as a contained panic.
 			_ = err
 		}
-		s.closeQ.Do(func() { close(s.queue) })
+		s.closeQ.Do(func() { s.queue.close() })
 	}
 	done := make(chan struct{})
 	go func() {
 		s.workerWG.Wait()
 		s.bgWG.Wait()
 		// The watchdog outlives the workers (a kill needs a live worker to
-		// observe it) and stops only once they are gone.
+		// observe it) and stops only once they are gone. The brownout
+		// controller follows the same discipline — its last evaluations
+		// see the final queue waits drain out.
 		s.wdStopOnce.Do(func() { close(s.wdStop) })
 		<-s.wdDone
+		s.bwStopOnce.Do(func() { close(s.bwStop) })
+		<-s.bwDone
 		close(done)
 	}()
 	select {
@@ -946,5 +1237,10 @@ func (s *Server) Close() error {
 	return s.Drain(ctx)
 }
 
-// QueueDepth reports current queue occupancy (diagnostic).
-func (s *Server) QueueDepth() int { return len(s.queue) }
+// QueueDepth reports current queue occupancy across all classes
+// (diagnostic).
+func (s *Server) QueueDepth() int { return s.queue.len() }
+
+// BrownoutLevel reports the brownout ladder level currently applied to new
+// jobs (0 = full service; diagnostic).
+func (s *Server) BrownoutLevel() int { return s.brown.currentLevel() }

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Shed reasons carried by OverloadError.Reason, so a shed caller (and the
+// daemon mapping sheds to wire codes) can tell "the queue is full" from
+// "your tenant is over quota" without parsing prose.
+const (
+	// ShedQueueFull is the classic admission shed: the request's class
+	// lane is at its bound (or admission was starved by a fault).
+	ShedQueueFull = "queue_full"
+	// ShedTenantRate means the request's tenant exhausted its token
+	// bucket (TenantConfig.RPS/Burst).
+	ShedTenantRate = "tenant_rate"
+	// ShedTenantShare means the request's tenant holds its maximum
+	// in-flight share (TenantConfig.MaxShare) of server capacity.
+	ShedTenantShare = "tenant_share"
+)
+
+// TenantConfig tunes per-tenant fair shedding. The zero value disables it.
+// Limits apply only to requests that carry a tenant label; unlabelled
+// traffic is never throttled here (isolation is opt-in per request — the
+// alternative, lumping all anonymous traffic into one throttled pseudo-
+// tenant, would punish exactly the callers that never asked for fairness).
+type TenantConfig struct {
+	// RPS is each tenant's sustained admission rate in requests/second
+	// (token-bucket refill). 0 disables rate limiting.
+	RPS float64
+	// Burst is each tenant's token-bucket capacity — how far above RPS a
+	// tenant may spike. Defaults to ceil(RPS), minimum 1.
+	Burst int
+	// MaxShare caps one tenant's in-flight requests (queued + being
+	// solved) as a fraction of server capacity (queue bounds + workers).
+	// 0 or anything ≥ 1 disables the share cap.
+	MaxShare float64
+}
+
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.Burst <= 0 && c.RPS > 0 {
+		c.Burst = int(math.Ceil(c.RPS))
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	return c
+}
+
+// enabled reports whether any tenant limit is configured.
+func (c TenantConfig) enabled() bool {
+	return c.RPS > 0 || (c.MaxShare > 0 && c.MaxShare < 1)
+}
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	tokens   float64 // current token-bucket level
+	refilled time.Time
+	inflight int // admitted, not yet settled/evicted
+	lastSeen time.Time
+}
+
+// tenantGCThreshold bounds the table: past this many tenants, admit sweeps
+// out entries idle for tenantGCIdle with nothing in flight. A tenant that
+// returns after a sweep simply starts from a full bucket — forgetting an
+// idle tenant's debt is safe; forgetting its credit is the point.
+const (
+	tenantGCThreshold = 4096
+	tenantGCIdle      = time.Minute
+)
+
+// tenantTable holds per-tenant token buckets and in-flight counts. All
+// methods are safe for concurrent use.
+type tenantTable struct {
+	cfg         TenantConfig
+	maxInflight int // 0 = share cap disabled
+
+	mu     sync.Mutex
+	states map[string]*tenantState
+}
+
+// newTenantTable builds the table. capacity is the server's total
+// concurrent occupancy (sum of class queue bounds + workers), the base the
+// MaxShare fraction is taken of.
+func newTenantTable(cfg TenantConfig, capacity int) *tenantTable {
+	t := &tenantTable{cfg: cfg.withDefaults(), states: make(map[string]*tenantState)}
+	if cfg.MaxShare > 0 && cfg.MaxShare < 1 {
+		t.maxInflight = int(math.Ceil(cfg.MaxShare * float64(capacity)))
+		if t.maxInflight < 1 {
+			t.maxInflight = 1
+		}
+	}
+	return t
+}
+
+// admit charges one request against the tenant's bucket and share. On
+// success it returns a release func (idempotent) that must be called when
+// the request settles, is evicted, or fails to enqueue. On denial it
+// returns the shed reason and, for rate denials, how long until the bucket
+// refills one token — the tenant-specific retry-after floor. starve forces
+// a rate denial (the server:tenant fault lever).
+func (t *tenantTable) admit(tenant string, now time.Time, starve bool) (release func(), reason string, rateWait time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.states[tenant]
+	if !ok {
+		if len(t.states) >= tenantGCThreshold {
+			t.gcLocked(now)
+		}
+		st = &tenantState{tokens: float64(t.cfg.Burst), refilled: now}
+		t.states[tenant] = st
+	}
+	st.lastSeen = now
+	if t.cfg.RPS > 0 {
+		elapsed := now.Sub(st.refilled).Seconds()
+		if elapsed > 0 {
+			st.tokens = math.Min(float64(t.cfg.Burst), st.tokens+elapsed*t.cfg.RPS)
+			st.refilled = now
+		}
+		if starve || st.tokens < 1 {
+			need := 1 - st.tokens
+			if need < 0 || starve {
+				need = 1
+			}
+			return nil, ShedTenantRate, time.Duration(need / t.cfg.RPS * float64(time.Second))
+		}
+	} else if starve {
+		return nil, ShedTenantRate, 0
+	}
+	if t.maxInflight > 0 && st.inflight >= t.maxInflight {
+		return nil, ShedTenantShare, 0
+	}
+	if t.cfg.RPS > 0 {
+		st.tokens--
+	}
+	st.inflight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			st.inflight--
+			t.mu.Unlock()
+		})
+	}, "", 0
+}
+
+// gcLocked drops tenants idle past tenantGCIdle with nothing in flight.
+// Called with t.mu held.
+func (t *tenantTable) gcLocked(now time.Time) {
+	for name, st := range t.states {
+		if st.inflight == 0 && now.Sub(st.lastSeen) > tenantGCIdle {
+			delete(t.states, name)
+		}
+	}
+}
+
+// inflight reports one tenant's current in-flight count (diagnostic).
+func (t *tenantTable) inflight(tenant string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.states[tenant]; ok {
+		return st.inflight
+	}
+	return 0
+}

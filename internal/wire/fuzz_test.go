@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWire throws arbitrary bytes at wire request parsing — the exact
+// operation telamallocd performs on every untrusted line it reads — and
+// checks the schema's two safety properties: decoding never panics, and
+// any line that decodes re-encodes to a line that decodes to the same
+// request (marshalling is a fixed point, so a proxy that re-serialises
+// requests cannot corrupt them).
+func FuzzWire(f *testing.F) {
+	f.Add([]byte(`{"memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`))
+	f.Add([]byte(`{"v":1,"id":"a","memory":8,"buffers":[],"priority":"interactive","tenant":"t"}`))
+	f.Add([]byte(`{"priority":" ","tenant":"` + string(bytes.Repeat([]byte("x"), 64)) + `"}`))
+	f.Add([]byte(`{"memory":-1,"buffers":[{"start":9,"end":0,"size":-5,"align":3}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			return // invalid lines are rejected with CodeBadRequest; nothing more to check
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("decoded request failed to re-encode: %v (line %q)", err, line)
+		}
+		var again Request
+		if err := json.Unmarshal(out, &again); err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v (encoded %q)", err, out)
+		}
+		b1, _ := json.Marshal(again)
+		if !bytes.Equal(out, b1) {
+			t.Fatalf("marshalling is not a fixed point:\n first: %s\n again: %s", out, b1)
+		}
+	})
+}

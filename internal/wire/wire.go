@@ -24,6 +24,11 @@ type Buffer struct {
 }
 
 // Request is one allocation request line.
+//
+// Priority and Tenant are optional overload-control fields added within
+// protocol version 1: absent means "batch" class and the anonymous tenant,
+// and daemons predating them ignore unknown JSON fields, so both directions
+// round-trip (DESIGN.md §14).
 type Request struct {
 	V         int      `json:"v,omitempty"`
 	ID        string   `json:"id,omitempty"`
@@ -32,6 +37,16 @@ type Request struct {
 	Buffers   []Buffer `json:"buffers"`
 	MaxSteps  int64    `json:"max_steps,omitempty"`
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	// Priority selects the admission class: "interactive", "batch", or
+	// "background". Empty means "batch". Anything else is rejected with
+	// CodeBadRequest — silently downgrading a typo'd "interactive" would
+	// hide the misconfiguration exactly when latency matters.
+	Priority string `json:"priority,omitempty"`
+	// Tenant attributes the request to a fairness domain for per-tenant
+	// token buckets and in-flight share limits. Empty bypasses tenant
+	// accounting (the anonymous tenant is never throttled; isolation is
+	// opt-in per request, not imposed on unlabelled traffic).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Response is one report line. Outcome is always set; ErrorCode is set on
@@ -55,7 +70,13 @@ type Response struct {
 	QueueWaitMS      float64  `json:"queue_wait_ms,omitempty"`
 	ElapsedMS        float64  `json:"elapsed_ms,omitempty"`
 	RetryAfterMS     float64  `json:"retry_after_ms,omitempty"`
-	Error            string   `json:"error,omitempty"`
+	// DegradedByBrownout marks a verdict produced while the server's
+	// brownout controller had the ladder degraded (shrunk step pots,
+	// hedging off, or search skipped). The answer is still valid — the
+	// marker tells the client it was bought at reduced quality so
+	// latency-sensitive callers can decide to re-ask later.
+	DegradedByBrownout bool   `json:"degraded_by_brownout,omitempty"`
+	Error              string `json:"error,omitempty"`
 }
 
 // Terminal outcomes a report can carry.
@@ -106,6 +127,15 @@ const (
 	// budget multiple and was force-cancelled. Retrying the same request
 	// with the same budget will likely overrun again.
 	CodeWatchdogKilled = "watchdog_killed"
+	// CodeDeadlineExceededInQueue fails a request whose budget expired
+	// while it was still queued — no solver step was spent on it. Not
+	// retryable: the same budget pushed through the same congestion will
+	// expire again; the client should raise the budget or back off.
+	CodeDeadlineExceededInQueue = "deadline_exceeded_in_queue"
+	// CodeTenantOverloaded sheds one request because its tenant exhausted
+	// its token bucket or in-flight share — the daemon as a whole may be
+	// fine. Retryable after retry_after_ms plus client-side jitter.
+	CodeTenantOverloaded = "tenant_overloaded"
 )
 
 // RetryableCode reports whether a typed code names a transient condition a
@@ -114,7 +144,7 @@ const (
 func RetryableCode(code string) bool {
 	switch code {
 	case CodeDraining, CodeTooManyConnections, CodeOverloaded,
-		CodeIdleTimeout, CodeShuttingDown:
+		CodeIdleTimeout, CodeShuttingDown, CodeTenantOverloaded:
 		return true
 	}
 	return false

@@ -36,8 +36,8 @@ func TestResponseAlwaysCarriesVersion(t *testing.T) {
 }
 
 func TestRetryableCode(t *testing.T) {
-	retryable := []string{CodeDraining, CodeTooManyConnections, CodeOverloaded, CodeIdleTimeout, CodeShuttingDown}
-	permanent := []string{CodeBadRequest, CodeUnsupportedVersion, CodeLineTooLong, CodeTruncatedLine, CodeWatchdogKilled, "", "unknown"}
+	retryable := []string{CodeDraining, CodeTooManyConnections, CodeOverloaded, CodeIdleTimeout, CodeShuttingDown, CodeTenantOverloaded}
+	permanent := []string{CodeBadRequest, CodeUnsupportedVersion, CodeLineTooLong, CodeTruncatedLine, CodeWatchdogKilled, CodeDeadlineExceededInQueue, "", "unknown"}
 	for _, c := range retryable {
 		if !RetryableCode(c) {
 			t.Errorf("RetryableCode(%q) = false, want true", c)
@@ -47,5 +47,71 @@ func TestRetryableCode(t *testing.T) {
 		if RetryableCode(c) {
 			t.Errorf("RetryableCode(%q) = true, want false", c)
 		}
+	}
+}
+
+// TestRequestForwardCompat pins the v1 evolution contract from both sides:
+// a daemon predating priority/tenant (modelled by a decoder into the old
+// field set) ignores the new optional fields, and a new daemon decodes a
+// request that omits them to the zero values (batch class, anonymous
+// tenant).
+func TestRequestForwardCompat(t *testing.T) {
+	// New client → old daemon: the old schema had no priority/tenant, and
+	// encoding/json drops unknown fields, so the line still decodes.
+	line := []byte(`{"memory":8,"buffers":[{"start":0,"end":4,"size":4}],"priority":"interactive","tenant":"team-a","some_future_field":{"x":1}}`)
+	var old struct {
+		V       int      `json:"v,omitempty"`
+		Memory  int64    `json:"memory"`
+		Buffers []Buffer `json:"buffers"`
+	}
+	if err := json.Unmarshal(line, &old); err != nil {
+		t.Fatalf("old daemon rejects a new-client line: %v", err)
+	}
+	if old.Memory != 8 || len(old.Buffers) != 1 {
+		t.Errorf("old daemon misdecoded the known fields: %+v", old)
+	}
+
+	// Old client → new daemon: absent fields decode to the zero values.
+	var req Request
+	if err := json.Unmarshal([]byte(`{"memory":8,"buffers":[{"start":0,"end":4,"size":4}]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Priority != "" || req.Tenant != "" {
+		t.Errorf("absent optional fields decoded non-zero: priority=%q tenant=%q", req.Priority, req.Tenant)
+	}
+
+	// And the new fields round-trip through the new schema.
+	b, err := json.Marshal(Request{Memory: 8, Priority: "background", Tenant: "t9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Priority != "background" || back.Tenant != "t9" {
+		t.Errorf("priority/tenant did not round-trip: %+v", back)
+	}
+}
+
+// TestResponseForwardCompat: an old client decoding a new daemon's report
+// (with degraded_by_brownout set) must not choke, and a new client decoding
+// an old report sees the marker false.
+func TestResponseForwardCompat(t *testing.T) {
+	line := []byte(`{"v":1,"outcome":"solved","degraded_by_brownout":true,"offsets":[0]}`)
+	var old struct {
+		V       int     `json:"v"`
+		Outcome string  `json:"outcome"`
+		Offsets []int64 `json:"offsets,omitempty"`
+	}
+	if err := json.Unmarshal(line, &old); err != nil {
+		t.Fatalf("old client rejects a new-daemon report: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(`{"v":1,"outcome":"solved","offsets":[0]}`), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.DegradedByBrownout {
+		t.Error("absent marker decoded true")
 	}
 }
