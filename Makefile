@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak chaossoak overloadsoak
+.PHONY: ci build test race vet lint bench fuzz faultrace soak cachesoak obssoak chaossoak overloadsoak diffsoak cover
 
 ## ci: the full verification gate — lint, build, the test suite under the
 ## race detector (the parallel subproblem solver makes -race mandatory),
 ## the fault-injection suite re-run under -race, the serving-layer soak,
 ## the solution-cache soak, the observability soak, the subprocess chaos
-## soak, the overload-control soak, and a fuzz smoke of the public API.
-ci: lint build race faultrace soak cachesoak obssoak chaossoak overloadsoak fuzz
+## soak, the overload-control soak, the differential soak, the coverage
+## floors, and a fuzz smoke of the public API.
+ci: lint build race faultrace soak cachesoak obssoak chaossoak overloadsoak diffsoak cover fuzz
 
 build:
 	$(GO) build ./...
@@ -49,6 +50,13 @@ lint: vet
 	if [ -n "$$bad" ]; then \
 		echo "lint: bare time.Sleep is banned in internal/server (control loops are"; \
 		echo "lint: ticker-driven so tests can drive them with a manual clock):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@bad=$$(grep -n 'time\.Sleep(' internal/check/*.go | grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint: bare time.Sleep is banned in internal/check (verification must be"; \
+		echo "lint: deterministic — step budgets and start-resolved timeouts, never sleeps):"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi
@@ -114,6 +122,28 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPipeline -fuzztime=10s .
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprint -fuzztime=10s ./internal/cache
 	$(GO) test -run='^$$' -fuzz=FuzzWire -fuzztime=10s ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzCheck -fuzztime=10s ./internal/check
+
+## diffsoak: the differential verification soak under the race detector —
+## a client fleet and a bare Allocator solve the same seeded adversarial
+## stream, and every served response (cache-hit, deduped, hedged, or with
+## the brownout controller armed but idle) must be byte-identical to the
+## direct run and accepted by the independent checker; plus the oracle
+## sweep: the heuristic ladder must never claim a packing on an instance
+## the exact solver proves infeasible. See DESIGN.md §15.
+diffsoak:
+	TELAMALLOC_DIFFSOAK=1 $(GO) test -race -count=1 -run TestDiffSoak -timeout 300s ./cmd/telamallocd
+	$(GO) test -race -count=1 -run 'TestDifferential|TestScorecardRegression' ./internal/check
+
+## cover: coverage floors for the verification subsystem and the exact
+## oracle it leans on — the checker is the last line of defence, so its own
+## test coverage is gated, not merely reported.
+cover:
+	@$(GO) test -cover ./internal/check ./internal/ilp | tee /tmp/telamalloc_cover.txt; \
+	awk '{ for (i=1;i<=NF;i++) if ($$i=="coverage:") { c=$$(i+1); sub(/%/,"",c); \
+		floor = ($$2 ~ /internal\/check/) ? 80 : 85; \
+		if (c+0 < floor) { printf "cover: %s at %s%% is below the %d%% floor\n", $$2, c, floor; bad=1 } } } \
+		END { exit bad }' /tmp/telamalloc_cover.txt
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

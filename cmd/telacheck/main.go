@@ -1,0 +1,190 @@
+// Command telacheck is the offline verification tool for the allocation
+// service: it re-checks served results with the independent checker
+// (internal/check), which shares no code with the solver's own validators.
+//
+// Modes:
+//
+//	telacheck [-in session.jsonl]
+//	    Verify a captured wire session: a JSONL stream of interleaved
+//	    request and report lines (the daemon's stdin/stdout transcript, or
+//	    any capture of the TCP line protocol). Lines with an "outcome"
+//	    field are reports; they are paired with their request by id and
+//	    every verdict is re-verified — packing, spill plan, alignment,
+//	    lower-bound evidence, infeasibility claims. Exit 1 on any
+//	    violation, unpaired report, or unanswered request.
+//
+//	telacheck -diff [-seeds n] [-out BENCH_diff.json]
+//	    Run the differential oracle sweep (heuristic ladder vs exact
+//	    branch-and-bound on the adversarial families) and write the
+//	    machine-readable scorecard. Exit 1 if the ladder claimed a packing
+//	    on an oracle-proven-infeasible instance or the checker rejected a
+//	    claimed packing. Step budgets are fixed and wall-clock-free, so the
+//	    scorecard is byte-reproducible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"telamalloc/internal/check"
+	"telamalloc/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("telacheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in    = fs.String("in", "", "session transcript to verify (default stdin)")
+		diff  = fs.Bool("diff", false, "run the differential oracle sweep instead of verifying a transcript")
+		seeds = fs.Int("seeds", 8, "seeds per family for -diff")
+		out   = fs.String("out", "", "write the -diff scorecard here (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *diff {
+		return runDiff(*seeds, *out, stdout, stderr)
+	}
+	r := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "telacheck: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	return verifySession(r, stdout, stderr)
+}
+
+// verifySession pairs request and report lines by id and verifies each
+// pair. Protocol-only reports with no id (e.g. a bad-request rejection of
+// an unparseable line) are ignored: there is nothing to verify them
+// against.
+func verifySession(r io.Reader, stdout, stderr io.Writer) int {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	requests := make(map[string]wire.Request)
+	verified, violations := 0, 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		// A report line always carries "outcome"; a request never does.
+		var probe struct {
+			ID      string `json:"id"`
+			Outcome string `json:"outcome"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			fmt.Fprintf(stderr, "telacheck: line %d: not valid JSON: %v\n", lineNo, err)
+			violations++
+			continue
+		}
+		if probe.Outcome == "" {
+			var req wire.Request
+			if err := json.Unmarshal(raw, &req); err != nil {
+				fmt.Fprintf(stderr, "telacheck: line %d: bad request: %v\n", lineNo, err)
+				violations++
+				continue
+			}
+			requests[req.ID] = req
+			continue
+		}
+		var resp wire.Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			fmt.Fprintf(stderr, "telacheck: line %d: bad report: %v\n", lineNo, err)
+			violations++
+			continue
+		}
+		if resp.ID == "" {
+			continue // protocol-level rejection of an unparseable line
+		}
+		req, ok := requests[resp.ID]
+		if !ok {
+			fmt.Fprintf(stderr, "telacheck: line %d: report for unknown request id %q\n", lineNo, resp.ID)
+			violations++
+			continue
+		}
+		delete(requests, resp.ID)
+		if rep := check.Wire(req, resp); !rep.OK() {
+			for _, v := range rep.Violations {
+				fmt.Fprintf(stderr, "telacheck: request %s: %s\n", resp.ID, v)
+				violations++
+			}
+			continue
+		}
+		verified++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "telacheck: read: %v\n", err)
+		return 2
+	}
+	for id := range requests {
+		fmt.Fprintf(stderr, "telacheck: request %s was never answered\n", id)
+		violations++
+	}
+	fmt.Fprintf(stdout, "telacheck: %d reports verified, %d violations\n", verified, violations)
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runDiff executes the differential sweep and writes the scorecard.
+func runDiff(seeds int, outPath string, stdout, stderr io.Writer) int {
+	cfg := check.DiffConfig{}
+	for s := int64(1); s <= int64(seeds); s++ {
+		cfg.Seeds = append(cfg.Seeds, s)
+	}
+	card, verdicts, err := check.RunDifferential(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "telacheck: %v\n", err)
+		return 2
+	}
+	fatal := 0
+	for _, v := range verdicts {
+		if v.SolvedOnInfeasible {
+			fmt.Fprintf(stderr, "telacheck: %s seed %d: ladder claimed a packing on an oracle-infeasible instance\n",
+				v.Family, v.Seed)
+			fatal++
+		}
+		if v.CheckerViolations > 0 {
+			fmt.Fprintf(stderr, "telacheck: %s seed %d: %d independent-checker rejections\n",
+				v.Family, v.Seed, v.CheckerViolations)
+			fatal++
+		}
+	}
+	enc, err := json.MarshalIndent(card, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "telacheck: %v\n", err)
+		return 2
+	}
+	enc = append(enc, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+			fmt.Fprintf(stderr, "telacheck: %v\n", err)
+			return 2
+		}
+	} else {
+		stdout.Write(enc)
+	}
+	fmt.Fprintf(stdout, "telacheck: %d instances, oracle solved %d / infeasible %d / budget %d; ladder solved %d; gap %.1f%%\n",
+		card.Totals.Instances, card.Totals.OracleSolved, card.Totals.OracleInfeasible, card.Totals.OracleBudget,
+		card.Totals.LadderSolved, card.Totals.SolveRateGapPct)
+	if fatal > 0 {
+		return 1
+	}
+	return 0
+}

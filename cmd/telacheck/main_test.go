@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"telamalloc/internal/check"
+)
+
+// session builds a JSONL transcript from interleaved request/report lines.
+func session(lines ...string) *bytes.Buffer {
+	return bytes.NewBufferString(strings.Join(lines, "\n") + "\n")
+}
+
+const (
+	goodReq = `{"id":"r1","memory":16,"buffers":[{"start":0,"end":4,"size":8},{"start":0,"end":4,"size":8}]}`
+	goodRep = `{"v":1,"id":"r1","outcome":"solved","winner":"greedy","offsets":[0,8],"lower_bound":16,"memory":16}`
+)
+
+func TestVerifySessionClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(nil, session(goodReq, goodRep), &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d on a clean session; stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "1 reports verified, 0 violations") {
+		t.Fatalf("unexpected summary: %q", out.String())
+	}
+}
+
+func TestVerifySessionViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		lines []string
+		want  string
+	}{
+		{
+			"overlapping offsets",
+			[]string{goodReq, `{"v":1,"id":"r1","outcome":"solved","winner":"greedy","offsets":[0,4],"lower_bound":16,"memory":16}`},
+			"conflict",
+		},
+		{
+			"fake infeasibility claim",
+			[]string{
+				`{"id":"r2","memory":64,"buffers":[{"start":0,"end":4,"size":8}]}`,
+				`{"v":1,"id":"r2","outcome":"failed","lower_bound":80,"memory":64,"error":"no packing"}`,
+			},
+			"claimed infeasibility",
+		},
+		{
+			"unanswered request",
+			[]string{goodReq},
+			"never answered",
+		},
+		{
+			"orphan report",
+			[]string{goodRep},
+			"unknown request id",
+		},
+		{
+			"tampered evidence",
+			[]string{goodReq, `{"v":1,"id":"r1","outcome":"solved","winner":"greedy","offsets":[0,8],"lower_bound":12,"memory":16}`},
+			"lower bound",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code := run(nil, session(tc.lines...), &out, &errw)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1; stderr:\n%s", code, errw.String())
+			}
+			if !strings.Contains(errw.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errw.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifySessionFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "session.jsonl")
+	if err := os.WriteFile(path, session(goodReq, goodRep).Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-in", path}, nil, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw.String())
+	}
+}
+
+// TestDiffMode runs the sweep with a reduced seed set and checks the
+// scorecard lands on disk, parses, and matches a direct library run — the
+// CLI is a thin shell around check.RunDifferential, and must stay one.
+func TestDiffMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "card.json")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-diff", "-seeds", "3", "-out", path}, nil, &out, &errw); code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var card check.Scorecard
+	if err := json.Unmarshal(raw, &card); err != nil {
+		t.Fatalf("scorecard does not parse: %v", err)
+	}
+	want, _, err := check.RunDifferential(check.DiffConfig{Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(want)
+	cj, _ := json.Marshal(card)
+	if !bytes.Equal(wj, cj) {
+		t.Fatalf("CLI scorecard diverges from the library run:\n%s\n%s", cj, wj)
+	}
+	if !strings.Contains(out.String(), "instances") {
+		t.Fatalf("missing summary line: %q", out.String())
+	}
+}

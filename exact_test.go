@@ -1,0 +1,92 @@
+package telamalloc_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"telamalloc"
+	"telamalloc/internal/check"
+)
+
+// TestSolveExactStatusMapping pins the public error mapping of the exact
+// solver: a packing on feasible instances, ErrNoSolution on a proven
+// pigeonhole, ErrBudget when the step pot runs dry before either.
+func TestSolveExactStatusMapping(t *testing.T) {
+	feasible := telamalloc.Problem{
+		Memory: 32,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 4, Size: 16},
+			{Start: 2, End: 6, Size: 16},
+			{Start: 4, End: 8, Size: 16},
+		},
+	}
+	sol, err := telamalloc.SolveExact(feasible, 100_000, 0)
+	if err != nil {
+		t.Fatalf("feasible instance: %v", err)
+	}
+	if verr := sol.Validate(feasible); verr != nil {
+		t.Fatalf("exact packing invalid: %v", verr)
+	}
+	if rep := check.Solution(feasible, sol.Offsets); !rep.OK() {
+		t.Fatalf("independent checker rejected the exact packing: %v", rep.Err())
+	}
+
+	infeasible := telamalloc.Problem{
+		Memory: 16,
+		Buffers: []telamalloc.Buffer{
+			{Start: 0, End: 4, Size: 12},
+			{Start: 0, End: 4, Size: 12},
+		},
+	}
+	if _, err := telamalloc.SolveExact(infeasible, 100_000, 0); !errors.Is(err, telamalloc.ErrNoSolution) {
+		t.Fatalf("pigeonhole pair: got %v, want ErrNoSolution", err)
+	}
+
+	// A one-step pot on a multi-buffer instance exhausts before the search
+	// can either pack or prove anything.
+	if _, err := telamalloc.SolveExact(feasible, 1, 0); !errors.Is(err, telamalloc.ErrBudget) {
+		t.Fatalf("step-starved solve: got %v, want ErrBudget", err)
+	}
+}
+
+// TestTrainBacktrackModelDeterministic: same problems, same seed, same step
+// budgets must serialise to the same bytes — training is part of the
+// reproducibility surface (a model file diff must mean the training set or
+// solver changed, never scheduling).
+func TestTrainBacktrackModelDeterministic(t *testing.T) {
+	var problems []telamalloc.Problem
+	for _, fam := range check.DefaultFamilies() {
+		for seed := int64(1); seed <= 2; seed++ {
+			problems = append(problems, fam.Generate(seed))
+		}
+	}
+	train := func() []byte {
+		t.Helper()
+		m, err := telamalloc.TrainBacktrackModel(problems, 42, 5_000, 20_000)
+		if err != nil {
+			t.Fatalf("training failed: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := train(), train()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed trained different models:\n%s\n%s", a, b)
+	}
+
+	m, err := telamalloc.TrainBacktrackModel(problems, 43, 5_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, buf.Bytes()) {
+		t.Log("different seeds produced identical models (legal, but worth knowing)")
+	}
+}

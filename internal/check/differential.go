@@ -1,0 +1,290 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"telamalloc"
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/ilp"
+	"telamalloc/internal/workload"
+)
+
+// The differential oracle harness (§6 of the paper, Böhm et al.'s
+// heuristic-vs-exact methodology): seeded adversarial generators drive
+// small problems through the public heuristic ladder AND the exact
+// branch-and-bound oracle, every claimed packing is re-verified by the
+// independent checker, and the aggregate lands in a machine-readable
+// scorecard. Two invariants are hard failures:
+//
+//   - the ladder must never claim a full packing on an instance the oracle
+//     proves infeasible (a wrong "Solved" is the one unrecoverable lie an
+//     allocator can tell a compiler);
+//   - no claimed packing may be rejected by the independent checker.
+//
+// The solve-rate gap — oracle solved but ladder failed — is not a failure;
+// it is the paper's own quality metric, recorded per family so regressions
+// are visible across PRs (BENCH_diff.json).
+
+// Family is one seeded generator family of the differential sweep.
+type Family struct {
+	// Name labels the family in the scorecard.
+	Name string
+	// Generate builds the seed's instance.
+	Generate func(seed int64) telamalloc.Problem
+}
+
+// DiffConfig parameterises a differential run.
+type DiffConfig struct {
+	// Families is the generator set (nil = DefaultFamilies).
+	Families []Family
+	// Seeds drives every family once per seed (nil = 1..8).
+	Seeds []int64
+	// OracleSteps bounds each exact solve (0 = the 400k default). Runs
+	// meant to be reproducible must rely on steps, not wall clock.
+	OracleSteps int64
+	// OracleTimeout optionally adds a wall cap per exact solve, resolved
+	// at solve start (ilp.Options.Timeout). Leave zero for pinned runs.
+	OracleTimeout time.Duration
+	// SearchSteps bounds the ladder's search stage (0 = the 60k default).
+	SearchSteps int64
+}
+
+// Verdict is one instance's differential outcome.
+type Verdict struct {
+	Family  string `json:"family"`
+	Seed    int64  `json:"seed"`
+	Buffers int    `json:"buffers"`
+	// Oracle is the exact solver's status string (solved / infeasible /
+	// budget-exceeded).
+	Oracle string `json:"oracle"`
+	// Ladder is the pipeline's outcome: solved / failed.
+	Ladder string `json:"ladder"`
+	// Winner is the winning stage when the ladder solved.
+	Winner string `json:"winner,omitempty"`
+	// SolvedOnInfeasible flags the fatal disagreement.
+	SolvedOnInfeasible bool `json:"solved_on_infeasible,omitempty"`
+	// CheckerViolations counts independent-checker rejections across the
+	// instance's claimed packings (oracle's and ladder's).
+	CheckerViolations int `json:"checker_violations,omitempty"`
+}
+
+// FamilyScore aggregates one family's verdicts.
+type FamilyScore struct {
+	Name             string `json:"name"`
+	Instances        int    `json:"instances"`
+	OracleSolved     int    `json:"oracle_solved"`
+	OracleInfeasible int    `json:"oracle_infeasible"`
+	OracleBudget     int    `json:"oracle_budget"`
+	LadderSolved     int    `json:"ladder_solved"`
+	LadderFailed     int    `json:"ladder_failed"`
+	// AgreedSolved counts instances both sides solved.
+	AgreedSolved int `json:"agreed_solved"`
+	// SolvedOnInfeasible must be zero; committed so a regression is a
+	// visible diff, not just a test failure.
+	SolvedOnInfeasible int `json:"solved_on_infeasible"`
+	// CheckerRejections must be zero.
+	CheckerRejections int `json:"checker_rejections"`
+	// SolveRateGapPct is the paper's quality metric: of the instances the
+	// oracle solved, the percentage the ladder missed.
+	SolveRateGapPct float64 `json:"solve_rate_gap_pct"`
+}
+
+// Scorecard is the machine-readable result of a differential run
+// (BENCH_diff.json). Seeds and step budgets are embedded so the run is
+// reproducible byte-for-byte.
+type Scorecard struct {
+	Version     int           `json:"version"`
+	Seeds       []int64       `json:"seeds"`
+	OracleSteps int64         `json:"oracle_steps"`
+	SearchSteps int64         `json:"search_steps"`
+	Families    []FamilyScore `json:"families"`
+	Totals      FamilyScore   `json:"totals"`
+}
+
+// DefaultFamilies returns the adversarial generator set: near-capacity
+// packs, long-skinny/short-fat mixes, alignment-hostile sizes, the
+// above-peak alignment trap, and §6-style tiny model graphs.
+func DefaultFamilies() []Family {
+	return []Family{
+		{Name: "near-capacity", Generate: func(seed int64) telamalloc.Problem {
+			return ToPublic(workload.NearCapacityPack(8, seed))
+		}},
+		{Name: "skinny-fat", Generate: func(seed int64) telamalloc.Problem {
+			return ToPublic(workload.SkinnyFatMix(8, seed))
+		}},
+		{Name: "alignment-hostile", Generate: func(seed int64) telamalloc.Problem {
+			return ToPublic(workload.AlignmentHostile(8, seed))
+		}},
+		{Name: "align-trap", Generate: func(seed int64) telamalloc.Problem {
+			return ToPublic(workload.AlignTrap(seed))
+		}},
+		{Name: "tiny-model-graph", Generate: func(seed int64) telamalloc.Problem {
+			return ToPublic(workload.TinyModelGraph(seed))
+		}},
+	}
+}
+
+// ToPublic converts an internal generator problem to the public schema the
+// harness (and checker) operate on.
+func ToPublic(p *buffers.Problem) telamalloc.Problem {
+	q := telamalloc.Problem{Memory: p.Memory, Name: p.Name}
+	for _, b := range p.Buffers {
+		q.Buffers = append(q.Buffers, telamalloc.Buffer{
+			Start: b.Start, End: b.End, Size: b.Size, Align: b.Align,
+		})
+	}
+	return q
+}
+
+// toInternal is ToPublic's inverse, for handing instances to the oracle.
+func toInternal(p telamalloc.Problem) *buffers.Problem {
+	q := &buffers.Problem{Memory: p.Memory, Name: p.Name}
+	for _, b := range p.Buffers {
+		q.Buffers = append(q.Buffers, buffers.Buffer{
+			Start: b.Start, End: b.End, Size: b.Size, Align: b.Align,
+		})
+	}
+	q.Normalize()
+	return q
+}
+
+func (c DiffConfig) withDefaults() DiffConfig {
+	if c.Families == nil {
+		c.Families = DefaultFamilies()
+	}
+	if c.Seeds == nil {
+		for s := int64(1); s <= 8; s++ {
+			c.Seeds = append(c.Seeds, s)
+		}
+	}
+	if c.OracleSteps <= 0 {
+		c.OracleSteps = 400_000
+	}
+	if c.SearchSteps <= 0 {
+		c.SearchSteps = 60_000
+	}
+	return c
+}
+
+// RunDifferential executes the sweep and returns the scorecard plus every
+// per-instance verdict. It returns an error only on harness misuse (a
+// generator producing an invalid problem); disagreements and rejections are
+// data, reported in the scorecard for the caller to assert on.
+func RunDifferential(cfg DiffConfig) (Scorecard, []Verdict, error) {
+	cfg = cfg.withDefaults()
+	card := Scorecard{
+		Version:     1,
+		Seeds:       cfg.Seeds,
+		OracleSteps: cfg.OracleSteps,
+		SearchSteps: cfg.SearchSteps,
+	}
+	var verdicts []Verdict
+	for _, fam := range cfg.Families {
+		score := FamilyScore{Name: fam.Name}
+		for _, seed := range cfg.Seeds {
+			p := fam.Generate(seed)
+			v, err := runInstance(cfg, fam.Name, seed, p)
+			if err != nil {
+				return Scorecard{}, nil, err
+			}
+			verdicts = append(verdicts, v)
+			score.Instances++
+			switch v.Oracle {
+			case ilp.Solved.String():
+				score.OracleSolved++
+				if v.Ladder == "solved" {
+					score.AgreedSolved++
+				}
+			case ilp.Infeasible.String():
+				score.OracleInfeasible++
+			default:
+				score.OracleBudget++
+			}
+			if v.Ladder == "solved" {
+				score.LadderSolved++
+			} else {
+				score.LadderFailed++
+			}
+			if v.SolvedOnInfeasible {
+				score.SolvedOnInfeasible++
+			}
+			score.CheckerRejections += v.CheckerViolations
+		}
+		if score.OracleSolved > 0 {
+			score.SolveRateGapPct = 100 * float64(score.OracleSolved-score.AgreedSolved) / float64(score.OracleSolved)
+		}
+		card.Families = append(card.Families, score)
+		accumulate(&card.Totals, score)
+	}
+	card.Totals.Name = "totals"
+	if card.Totals.OracleSolved > 0 {
+		card.Totals.SolveRateGapPct = 100 * float64(card.Totals.OracleSolved-card.Totals.AgreedSolved) / float64(card.Totals.OracleSolved)
+	}
+	return card, verdicts, nil
+}
+
+func runInstance(cfg DiffConfig, family string, seed int64, p telamalloc.Problem) (Verdict, error) {
+	v := Verdict{Family: family, Seed: seed, Buffers: len(p.Buffers)}
+	q := toInternal(p)
+	if err := q.Validate(); err != nil {
+		return v, fmt.Errorf("check: family %s seed %d generated an invalid problem: %v", family, seed, err)
+	}
+
+	// The exact oracle. Step-bounded (and optionally wall-bounded via the
+	// start-resolved Timeout), so pinned runs are deterministic.
+	oracle := ilp.Solve(q, nil, ilp.Options{
+		MaxSteps: cfg.OracleSteps,
+		Timeout:  cfg.OracleTimeout,
+	})
+	v.Oracle = oracle.Status.String()
+	if oracle.Status == ilp.Solved {
+		if rep := Solution(p, oracle.Solution.Offsets); !rep.OK() {
+			v.CheckerViolations += len(rep.Violations)
+		}
+	}
+
+	// The heuristic ladder, exactly as production runs it minus the spill
+	// stage: spilling always "succeeds" by degrading, which would blur the
+	// solve-rate comparison the harness exists to make.
+	res, perr := telamalloc.AllocatePipeline(p,
+		telamalloc.WithStages(telamalloc.StageGreedy, telamalloc.StageBestFit, telamalloc.StageSearch),
+		telamalloc.WithMaxSteps(cfg.SearchSteps),
+	)
+	switch {
+	case perr == nil:
+		v.Ladder = "solved"
+		v.Winner = res.Winner
+		if rep := Pipeline(p, res, perr); !rep.OK() {
+			v.CheckerViolations += len(rep.Violations)
+		}
+		if oracle.Status == ilp.Infeasible {
+			v.SolvedOnInfeasible = true
+		}
+	case errors.Is(perr, telamalloc.ErrInvalidProblem):
+		return v, fmt.Errorf("check: family %s seed %d rejected by the ladder: %v", family, seed, perr)
+	default:
+		v.Ladder = "failed"
+		if rep := Pipeline(p, res, perr); !rep.OK() {
+			v.CheckerViolations += len(rep.Violations)
+		}
+	}
+	// The inverse disagreement — oracle infeasible-proof wrong because the
+	// ladder found a checker-clean packing — is already covered: a clean
+	// packing with oracle=infeasible sets SolvedOnInfeasible, and whether
+	// the lie is the oracle's or the ladder's, the harness run fails.
+	return v, nil
+}
+
+func accumulate(t *FamilyScore, s FamilyScore) {
+	t.Instances += s.Instances
+	t.OracleSolved += s.OracleSolved
+	t.OracleInfeasible += s.OracleInfeasible
+	t.OracleBudget += s.OracleBudget
+	t.LadderSolved += s.LadderSolved
+	t.LadderFailed += s.LadderFailed
+	t.AgreedSolved += s.AgreedSolved
+	t.SolvedOnInfeasible += s.SolvedOnInfeasible
+	t.CheckerRejections += s.CheckerRejections
+}

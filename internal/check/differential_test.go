@@ -1,0 +1,134 @@
+package check_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"telamalloc"
+	"telamalloc/internal/check"
+	"telamalloc/internal/ilp"
+)
+
+// TestDifferentialInvariants is the harness's core run: across every default
+// family and seed, the heuristic ladder must never claim a packing on an
+// oracle-proven-infeasible instance, and no claimed packing (oracle's or
+// ladder's) may be rejected by the independent checker.
+func TestDifferentialInvariants(t *testing.T) {
+	card, verdicts, err := check.RunDifferential(check.DiffConfig{})
+	if err != nil {
+		t.Fatalf("differential run failed: %v", err)
+	}
+	for _, v := range verdicts {
+		if v.SolvedOnInfeasible {
+			t.Errorf("%s seed %d: ladder claimed a packing on an oracle-infeasible instance",
+				v.Family, v.Seed)
+		}
+		if v.CheckerViolations > 0 {
+			t.Errorf("%s seed %d: %d independent-checker rejections",
+				v.Family, v.Seed, v.CheckerViolations)
+		}
+	}
+	if card.Totals.SolvedOnInfeasible != 0 || card.Totals.CheckerRejections != 0 {
+		t.Fatalf("scorecard totals carry fatal counts: %+v", card.Totals)
+	}
+	if card.Totals.Instances != len(card.Seeds)*len(check.DefaultFamilies()) {
+		t.Fatalf("ran %d instances, expected %d", card.Totals.Instances,
+			len(card.Seeds)*len(check.DefaultFamilies()))
+	}
+	// The sweep must exercise both sides of the oracle: at least one solved
+	// and at least one infeasible instance, or the families are not
+	// adversarial enough to mean anything.
+	if card.Totals.OracleSolved == 0 || card.Totals.OracleInfeasible == 0 {
+		t.Fatalf("sweep lacks oracle diversity: %+v", card.Totals)
+	}
+}
+
+// TestDifferentialDeterministic: identical configs (steps-only budgets, no
+// wall clock) must produce byte-identical scorecards — the property the
+// committed BENCH_diff.json regression rests on.
+func TestDifferentialDeterministic(t *testing.T) {
+	a, _, err := check.RunDifferential(check.DiffConfig{Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := check.RunDifferential(check.DiffConfig{Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("same config, different scorecards:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestDifferentialClassification pins the harness's bookkeeping on hand-built
+// instances with known ground truth: a feasible pair both sides must solve,
+// and a pigeonhole-infeasible pair the oracle must prove and the ladder must
+// fail.
+func TestDifferentialClassification(t *testing.T) {
+	card, verdicts, err := check.RunDifferential(check.DiffConfig{
+		Families: []check.Family{
+			{Name: "known-feasible", Generate: func(seed int64) (p telamalloc.Problem) {
+				p.Memory = 64
+				p.Buffers = append(p.Buffers, telamalloc.Buffer{Start: 0, End: 4, Size: 16})
+				p.Buffers = append(p.Buffers, telamalloc.Buffer{Start: 2, End: 6, Size: 16})
+				return p
+			}},
+			{Name: "known-infeasible", Generate: func(seed int64) (p telamalloc.Problem) {
+				p.Memory = 16
+				p.Buffers = append(p.Buffers, telamalloc.Buffer{Start: 0, End: 4, Size: 12})
+				p.Buffers = append(p.Buffers, telamalloc.Buffer{Start: 0, End: 4, Size: 12})
+				return p
+			}},
+		},
+		Seeds: []int64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 2 {
+		t.Fatalf("got %d verdicts", len(verdicts))
+	}
+	if verdicts[0].Oracle != ilp.Solved.String() || verdicts[0].Ladder != "solved" {
+		t.Fatalf("feasible instance misclassified: %+v", verdicts[0])
+	}
+	if verdicts[1].Oracle != ilp.Infeasible.String() || verdicts[1].Ladder != "failed" {
+		t.Fatalf("infeasible instance misclassified: %+v", verdicts[1])
+	}
+	if card.Totals.SolvedOnInfeasible != 0 {
+		t.Fatalf("false disagreement reported: %+v", card.Totals)
+	}
+}
+
+// TestScorecardRegression pins the committed BENCH_diff.json: re-running the
+// differential sweep with the committed seeds and budgets must reproduce the
+// committed scorecard exactly. A diff here means solver behaviour changed —
+// deliberate changes regenerate the file (go run ./cmd/telacheck -diff -out
+// BENCH_diff.json), accidental ones fail tier-1.
+func TestScorecardRegression(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_diff.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading committed scorecard: %v", err)
+	}
+	var committed check.Scorecard
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		t.Fatalf("parsing committed scorecard: %v", err)
+	}
+	got, _, err := check.RunDifferential(check.DiffConfig{
+		Seeds:       committed.Seeds,
+		OracleSteps: committed.OracleSteps,
+		SearchSteps: committed.SearchSteps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, committed) {
+		gj, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("scorecard drifted from committed BENCH_diff.json.\nGot:\n%s", gj)
+	}
+}

@@ -1,0 +1,111 @@
+package check_test
+
+import (
+	"testing"
+
+	"telamalloc"
+	"telamalloc/internal/check"
+)
+
+// FuzzCheck drives the independent checker with randomly generated problems
+// and deliberately corrupted solutions. For every solvable instance the
+// checker must accept the honest packing, and must reject each of the
+// mutations — an offset nudged into a neighbour, a buffer grown past its
+// allocation, and a conflict edge dropped by stretching a lifetime. A
+// mutation the checker misses is exactly the class of bug a second-opinion
+// validator exists to catch.
+func FuzzCheck(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(0))
+	f.Add(int64(7), uint8(9), uint8(1))
+	f.Add(int64(42), uint8(14), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, mutation uint8) {
+		fams := check.DefaultFamilies()
+		p := fams[int(n)%len(fams)].Generate(seed%1000 + 1)
+		res, err := telamalloc.AllocatePipeline(p,
+			telamalloc.WithStages(telamalloc.StageGreedy, telamalloc.StageBestFit, telamalloc.StageSearch),
+			telamalloc.WithMaxSteps(20_000),
+		)
+		if err != nil {
+			return
+		}
+		offsets := res.Solution.Offsets
+		if rep := check.Solution(p, offsets); !rep.OK() {
+			t.Fatalf("%s: checker rejected an honest packing: %v", p.Name, rep.Err())
+		}
+
+		// Pick the victim pair: two buffers with intersecting lifetimes, so
+		// each mutation below provably breaks the packing.
+		vi, vj := -1, -1
+		for i := range p.Buffers {
+			for j := i + 1; j < len(p.Buffers); j++ {
+				if p.Buffers[i].Start < p.Buffers[j].End && p.Buffers[j].Start < p.Buffers[i].End {
+					vi, vj = i, j
+					break
+				}
+			}
+			if vi >= 0 {
+				break
+			}
+		}
+		if vi < 0 {
+			return // no conflicting pair to corrupt
+		}
+
+		switch mutation % 3 {
+		case 0:
+			// Offset nudge: move vi onto vj's address. The pair conflicts in
+			// time and both sizes are positive, so equal offsets must clash.
+			bad := append([]int64(nil), offsets...)
+			bad[vi] = offsets[vj]
+			if rep := check.Solution(p, bad); rep.OK() {
+				t.Fatalf("%s: offset nudge onto a live neighbour accepted", p.Name)
+			}
+		case 1:
+			// Size grow: inflate one buffer past the memory limit. Its
+			// unchanged offset now provably overflows.
+			q := p
+			q.Buffers = append([]telamalloc.Buffer(nil), p.Buffers...)
+			q.Buffers[vi].Size = q.Memory - offsets[vi] + 1
+			if rep := check.Solution(q, offsets); rep.OK() {
+				t.Fatalf("%s: buffer grown past capacity accepted", p.Name)
+			}
+		case 2:
+			// Conflict-edge drop: the original packing may rely on vi and vj
+			// being temporally disjoint from *other* buffers. Stretch vi's
+			// lifetime over the whole horizon and park it on any buffer that
+			// was address-overlapping but time-disjoint; if no such buffer
+			// exists the stretched problem may stay valid, so only assert
+			// when we can point at a provable clash.
+			q := p
+			q.Buffers = append([]telamalloc.Buffer(nil), p.Buffers...)
+			var lo, hi int64 = q.Buffers[0].Start, q.Buffers[0].End
+			for _, b := range q.Buffers {
+				if b.Start < lo {
+					lo = b.Start
+				}
+				if b.End > hi {
+					hi = b.End
+				}
+			}
+			q.Buffers[vi].Start, q.Buffers[vi].End = lo, hi
+			clash := false
+			for j := range p.Buffers {
+				if j == vi {
+					continue
+				}
+				overlapTime := p.Buffers[vi].Start < p.Buffers[j].End && p.Buffers[j].Start < p.Buffers[vi].End
+				overlapAddr := offsets[vi] < offsets[j]+p.Buffers[j].Size && offsets[j] < offsets[vi]+p.Buffers[vi].Size
+				if !overlapTime && overlapAddr {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				return
+			}
+			if rep := check.Solution(q, offsets); rep.OK() {
+				t.Fatalf("%s: dropped conflict edge accepted", p.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package check
+
+import (
+	"math/rand"
+	"sort"
+
+	"telamalloc"
+)
+
+// The metamorphic layer: transformations of an allocation problem under
+// which solutions provably survive. Each returns the transformed problem
+// plus whatever is needed to transport a solution across the
+// transformation, so tests can assert two independent properties:
+//
+//   - validity transport: a checker-clean solution of the original, mapped
+//     through the transformation, is checker-clean for the transform;
+//   - canonical stability: for transformations the cache layer promises are
+//     fingerprint-preserving (time shift, buffer permutation), the
+//     deterministic pipeline must produce byte-identical canonical offsets
+//     on both sides.
+
+// TimeShift shifts every live range by delta. The cache fingerprint is
+// shift-normalised, so the transform is fingerprint-equal to the original
+// and solutions transport unchanged.
+func TimeShift(p telamalloc.Problem, delta int64) telamalloc.Problem {
+	q := telamalloc.Problem{Memory: p.Memory, Name: p.Name}
+	q.Buffers = append([]telamalloc.Buffer(nil), p.Buffers...)
+	for i := range q.Buffers {
+		q.Buffers[i].Start += delta
+		q.Buffers[i].End += delta
+	}
+	return q
+}
+
+// Permute reorders the buffers with the seed's permutation. It returns the
+// permuted problem and perm, where permuted.Buffers[k] == p.Buffers[perm[k]];
+// a solution transports as transported[k] = offsets[perm[k]]
+// (PermuteSolution). Fingerprints ignore buffer order, so the transform is
+// fingerprint-equal.
+func Permute(p telamalloc.Problem, seed int64) (telamalloc.Problem, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(p.Buffers))
+	q := telamalloc.Problem{Memory: p.Memory, Name: p.Name}
+	q.Buffers = make([]telamalloc.Buffer, len(p.Buffers))
+	for k, id := range perm {
+		q.Buffers[k] = p.Buffers[id]
+	}
+	return q, perm
+}
+
+// PermuteSolution transports a solution across Permute's reordering.
+func PermuteSolution(offsets []int64, perm []int) []int64 {
+	if len(offsets) != len(perm) {
+		return nil
+	}
+	out := make([]int64, len(perm))
+	for k, id := range perm {
+		out[k] = offsets[id]
+	}
+	return out
+}
+
+// Scale multiplies every size, every alignment, and the capacity by k > 0.
+// Solvability is preserved in both directions (divide back for the
+// converse), and a solution transports by scaling each offset
+// (ScaleSolution): bounds, alignment, and disjointness are all homogeneous
+// under the scaling.
+func Scale(p telamalloc.Problem, k int64) telamalloc.Problem {
+	q := telamalloc.Problem{Memory: p.Memory * k, Name: p.Name}
+	q.Buffers = append([]telamalloc.Buffer(nil), p.Buffers...)
+	for i := range q.Buffers {
+		q.Buffers[i].Size *= k
+		if q.Buffers[i].Align > 1 {
+			q.Buffers[i].Align *= k
+		}
+	}
+	return q
+}
+
+// ScaleSolution transports a solution across Scale. Spilled offsets (-1)
+// stay spilled.
+func ScaleSolution(offsets []int64, k int64) []int64 {
+	out := make([]int64, len(offsets))
+	for i, off := range offsets {
+		if off < 0 {
+			out[i] = off
+			continue
+		}
+		out[i] = off * k
+	}
+	return out
+}
+
+// Component is one temporally independent slice of a problem: a maximal set
+// of buffers no live range crosses out of.
+type Component struct {
+	// Problem is the standalone subproblem, with the parent's memory limit.
+	Problem telamalloc.Problem
+	// Indices maps the subproblem's buffer k to the parent's buffer
+	// Indices[k].
+	Indices []int
+}
+
+// SplitComponents cuts the problem at every time point no live range
+// crosses, independently of the solver's own §5.3 splitter (sorted-interval
+// scan here, union-find-free): any packing of the whole is a packing of
+// each component, and packings of the components compose into a packing of
+// the whole because buffers in different components never coexist.
+func SplitComponents(p telamalloc.Problem) []Component {
+	if len(p.Buffers) == 0 {
+		return nil
+	}
+	order := make([]int, len(p.Buffers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if p.Buffers[order[a]].Start != p.Buffers[order[b]].Start {
+			return p.Buffers[order[a]].Start < p.Buffers[order[b]].Start
+		}
+		return order[a] < order[b]
+	})
+	var out []Component
+	cur := Component{Problem: telamalloc.Problem{Memory: p.Memory, Name: p.Name}}
+	maxEnd := p.Buffers[order[0]].End
+	for _, idx := range order {
+		b := p.Buffers[idx]
+		if len(cur.Indices) > 0 && b.Start >= maxEnd {
+			out = append(out, cur)
+			cur = Component{Problem: telamalloc.Problem{Memory: p.Memory, Name: p.Name}}
+		}
+		cur.Problem.Buffers = append(cur.Problem.Buffers, b)
+		cur.Indices = append(cur.Indices, idx)
+		if b.End > maxEnd {
+			maxEnd = b.End
+		}
+	}
+	out = append(out, cur)
+	return out
+}
+
+// ComponentSolution restricts a whole-problem solution to one component.
+func ComponentSolution(offsets []int64, c Component) []int64 {
+	out := make([]int64, len(c.Indices))
+	for k, idx := range c.Indices {
+		if idx < 0 || idx >= len(offsets) {
+			return nil
+		}
+		out[k] = offsets[idx]
+	}
+	return out
+}
+
+// MergeComponentSolutions composes per-component packings back into a
+// whole-problem solution. n is the parent problem's buffer count.
+func MergeComponentSolutions(n int, comps []Component, sols [][]int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for c, comp := range comps {
+		if c >= len(sols) || len(sols[c]) != len(comp.Indices) {
+			return nil
+		}
+		for k, idx := range comp.Indices {
+			out[idx] = sols[c][k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package check_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"telamalloc"
+	"telamalloc/internal/buffers"
+	"telamalloc/internal/cache"
+	"telamalloc/internal/check"
+)
+
+// solveClean runs the deterministic ladder and requires a checker-clean
+// packing; metamorphic tests skip seeds whose base instance the ladder
+// cannot solve (the transforms are about transporting solutions, not about
+// solve rate).
+func solveClean(t *testing.T, p telamalloc.Problem) ([]int64, bool) {
+	t.Helper()
+	res, err := telamalloc.AllocatePipeline(p,
+		telamalloc.WithStages(telamalloc.StageGreedy, telamalloc.StageBestFit, telamalloc.StageSearch),
+		telamalloc.WithMaxSteps(60_000),
+	)
+	if err != nil {
+		return nil, false
+	}
+	if rep := check.Solution(p, res.Solution.Offsets); !rep.OK() {
+		t.Fatalf("%s: ladder produced a checker-rejected packing: %v", p.Name, rep.Err())
+	}
+	return res.Solution.Offsets, true
+}
+
+func toBuffers(p telamalloc.Problem) *buffers.Problem {
+	q := &buffers.Problem{Memory: p.Memory, Name: p.Name}
+	for _, b := range p.Buffers {
+		q.Buffers = append(q.Buffers, buffers.Buffer{
+			Start: b.Start, End: b.End, Size: b.Size, Align: b.Align,
+		})
+	}
+	return q
+}
+
+// canonicalProblem rebuilds p in the cache layer's canonical form: buffers
+// in canonical order, times shifted to start at zero, alignment normalised.
+// Fingerprint-equal problems have value-identical canonical forms, so the
+// deterministic pipeline must produce byte-identical offsets on them — the
+// byte-identity half of the metamorphic contract.
+func canonicalProblem(p telamalloc.Problem) telamalloc.Problem {
+	_, perm := cache.Canonicalize(toBuffers(p))
+	var minStart int64
+	for i, b := range p.Buffers {
+		if i == 0 || b.Start < minStart {
+			minStart = b.Start
+		}
+	}
+	out := telamalloc.Problem{Memory: p.Memory}
+	for _, id := range perm {
+		b := p.Buffers[id]
+		align := b.Align
+		if align < 1 {
+			align = 1
+		}
+		out.Buffers = append(out.Buffers, telamalloc.Buffer{
+			Start: b.Start - minStart, End: b.End - minStart, Size: b.Size, Align: align,
+		})
+	}
+	return out
+}
+
+// canonicalOffsets solves p's canonical form and serialises the offsets.
+func canonicalOffsets(t *testing.T, p telamalloc.Problem) ([]byte, bool) {
+	t.Helper()
+	offsets, ok := solveClean(t, canonicalProblem(p))
+	if !ok {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	for _, off := range offsets {
+		fmt.Fprintf(&buf, "|%d", off)
+	}
+	return buf.Bytes(), true
+}
+
+func metamorphicSeeds() []int64 { return []int64{1, 2, 3, 4, 5, 6} }
+
+func TestMetamorphicTimeShift(t *testing.T) {
+	for _, fam := range check.DefaultFamilies() {
+		for _, seed := range metamorphicSeeds() {
+			p := fam.Generate(seed)
+			offsets, ok := solveClean(t, p)
+			if !ok {
+				continue
+			}
+			for _, delta := range []int64{1, 17, 1 << 20} {
+				q := check.TimeShift(p, delta)
+				// Validity transport: the same offsets solve the shifted
+				// problem.
+				if rep := check.Solution(q, offsets); !rep.OK() {
+					t.Fatalf("%s seed %d shift %d: transported solution rejected: %v",
+						p.Name, seed, delta, rep.Err())
+				}
+				// Fingerprint equality, as the cache layer promises.
+				fp, _ := cache.Canonicalize(toBuffers(p))
+				fq, _ := cache.Canonicalize(toBuffers(q))
+				if fp.Key != fq.Key {
+					t.Fatalf("%s seed %d shift %d: fingerprint changed under time shift",
+						p.Name, seed, delta)
+				}
+				// Canonical byte-identity of the solved offsets.
+				cp, _ := canonicalOffsets(t, p)
+				cq, ok := canonicalOffsets(t, q)
+				if !ok || !bytes.Equal(cp, cq) {
+					t.Fatalf("%s seed %d shift %d: canonical offsets diverged",
+						p.Name, seed, delta)
+				}
+			}
+		}
+	}
+}
+
+func TestMetamorphicPermutation(t *testing.T) {
+	for _, fam := range check.DefaultFamilies() {
+		for _, seed := range metamorphicSeeds() {
+			p := fam.Generate(seed)
+			offsets, ok := solveClean(t, p)
+			if !ok {
+				continue
+			}
+			q, perm := check.Permute(p, seed*7+1)
+			transported := check.PermuteSolution(offsets, perm)
+			if rep := check.Solution(q, transported); !rep.OK() {
+				t.Fatalf("%s seed %d: permuted solution rejected: %v", p.Name, seed, rep.Err())
+			}
+			fp, _ := cache.Canonicalize(toBuffers(p))
+			fq, _ := cache.Canonicalize(toBuffers(q))
+			if fp.Key != fq.Key {
+				t.Fatalf("%s seed %d: fingerprint changed under permutation", p.Name, seed)
+			}
+			cp, _ := canonicalOffsets(t, p)
+			cq, ok := canonicalOffsets(t, q)
+			if !ok || !bytes.Equal(cp, cq) {
+				t.Fatalf("%s seed %d: canonical offsets diverged under permutation", p.Name, seed)
+			}
+		}
+	}
+}
+
+func TestMetamorphicScale(t *testing.T) {
+	for _, fam := range check.DefaultFamilies() {
+		for _, seed := range metamorphicSeeds() {
+			p := fam.Generate(seed)
+			offsets, ok := solveClean(t, p)
+			if !ok {
+				continue
+			}
+			for _, k := range []int64{2, 3, 8} {
+				q := check.Scale(p, k)
+				if rep := check.Solution(q, check.ScaleSolution(offsets, k)); !rep.OK() {
+					t.Fatalf("%s seed %d scale %d: scaled solution rejected: %v",
+						p.Name, seed, k, rep.Err())
+				}
+			}
+		}
+	}
+}
+
+// composite chains the instance after a time-shifted copy of itself, with
+// the larger of the two memory limits: two temporally disjoint components by
+// construction, which is what exercises the split/merge transform (the
+// adversarial families themselves are deliberately one tight knot).
+func composite(p telamalloc.Problem) telamalloc.Problem {
+	var horizon int64
+	for _, b := range p.Buffers {
+		if b.End > horizon {
+			horizon = b.End
+		}
+	}
+	q := check.TimeShift(p, horizon+1)
+	out := telamalloc.Problem{Memory: p.Memory, Name: p.Name + "-composite"}
+	out.Buffers = append(out.Buffers, p.Buffers...)
+	out.Buffers = append(out.Buffers, q.Buffers...)
+	return out
+}
+
+func TestMetamorphicComponentSplit(t *testing.T) {
+	split := false
+	for _, fam := range check.DefaultFamilies() {
+		for _, seed := range metamorphicSeeds() {
+			p := composite(fam.Generate(seed))
+			offsets, ok := solveClean(t, p)
+			if !ok {
+				continue
+			}
+			comps := check.SplitComponents(p)
+			if len(comps) > 1 {
+				split = true
+			}
+			total := 0
+			var sols [][]int64
+			for _, c := range comps {
+				total += len(c.Indices)
+				// Restriction: the whole-problem packing solves each
+				// component standalone.
+				sub := check.ComponentSolution(offsets, c)
+				if rep := check.Solution(c.Problem, sub); !rep.OK() {
+					t.Fatalf("%s seed %d: restricted solution rejected: %v",
+						p.Name, seed, rep.Err())
+				}
+				// Independence: each component is solvable on its own, and
+				// those independent packings must compose.
+				s, ok := solveClean(t, c.Problem)
+				if !ok {
+					t.Fatalf("%s seed %d: component unsolvable though the whole was solved",
+						p.Name, seed)
+				}
+				sols = append(sols, s)
+			}
+			if total != len(p.Buffers) {
+				t.Fatalf("%s seed %d: split covers %d of %d buffers", p.Name, seed, total, len(p.Buffers))
+			}
+			merged := check.MergeComponentSolutions(len(p.Buffers), comps, sols)
+			if rep := check.Solution(p, merged); !rep.OK() {
+				t.Fatalf("%s seed %d: merged component packings rejected: %v",
+					p.Name, seed, rep.Err())
+			}
+		}
+	}
+	if !split {
+		t.Fatal("no generated instance split into multiple components; the transform went untested")
+	}
+}

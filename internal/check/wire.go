@@ -1,0 +1,85 @@
+package check
+
+import (
+	"telamalloc"
+	"telamalloc/internal/wire"
+)
+
+// WireProblem rebuilds the public allocation problem a wire request
+// describes, so offline tools (cmd/telacheck) can re-verify captured
+// responses against exactly the bytes the daemon saw.
+func WireProblem(req wire.Request) telamalloc.Problem {
+	p := telamalloc.Problem{Memory: req.Memory, Name: req.Name}
+	for _, b := range req.Buffers {
+		p.Buffers = append(p.Buffers, telamalloc.Buffer{
+			Start: b.Start, End: b.End, Size: b.Size, Align: b.Align,
+		})
+	}
+	return p
+}
+
+// Wire verifies one wire report line against the request it answered.
+// Verdict outcomes (solved/degraded/failed) get the full packing, spill
+// and evidence checks; protocol outcomes (shed/rejected/cancelled) are
+// checked for not smuggling offsets. Unknown outcomes are violations: an
+// offline checker must fail loudly on schema drift rather than skip what it
+// does not recognise.
+func Wire(req wire.Request, resp wire.Response) Report {
+	var r Report
+	if resp.V != wire.Version {
+		r.add(KindOutcome, -1, -1, "response version %d, schema version %d", resp.V, wire.Version)
+	}
+	if req.ID != "" && resp.ID != req.ID {
+		r.add(KindOutcome, -1, -1, "response id %q for request id %q", resp.ID, req.ID)
+	}
+	p := WireProblem(req)
+	switch resp.Outcome {
+	case wire.OutcomeSolved:
+		if resp.Winner == "" {
+			r.add(KindOutcome, -1, -1, "solved without a winning stage")
+		}
+		if len(resp.Spilled) > 0 {
+			r.add(KindOutcome, -1, -1, "solved outcome lists %d spilled buffers", len(resp.Spilled))
+		}
+		sub := Solution(p, resp.Offsets)
+		r.Violations = append(r.Violations, sub.Violations...)
+	case wire.OutcomeDegraded:
+		if len(resp.Spilled) == 0 {
+			r.add(KindOutcome, -1, -1, "degraded outcome with an empty spill set")
+			break
+		}
+		sub := Degraded(p, resp.Offsets, resp.Spilled, nil, resp.SpillCost)
+		r.Violations = append(r.Violations, sub.Violations...)
+	case wire.OutcomeFailed:
+		if len(resp.Offsets) != 0 {
+			r.add(KindOutcome, -1, -1, "failed outcome carries %d offsets", len(resp.Offsets))
+		}
+		// When the failure claims provable infeasibility (lower bound over
+		// memory), the claim must survive independent recomputation.
+		if resp.LowerBound > resp.Memory {
+			if lb := LowerBound(p); lb <= p.Memory {
+				r.add(KindEvidence, -1, -1,
+					"claimed infeasibility (%d > %d) but independent peak is %d <= %d",
+					resp.LowerBound, resp.Memory, lb, p.Memory)
+			}
+		}
+	case wire.OutcomeShed, wire.OutcomeRejected, wire.OutcomeCancelled:
+		if len(resp.Offsets) != 0 {
+			r.add(KindOutcome, -1, -1, "%s outcome carries %d offsets", resp.Outcome, len(resp.Offsets))
+		}
+	default:
+		r.add(KindOutcome, -1, -1, "unknown outcome %q", resp.Outcome)
+	}
+	// Evidence fields are cross-checked whenever the response committed to
+	// them (verdict outcomes always do).
+	switch resp.Outcome {
+	case wire.OutcomeSolved, wire.OutcomeDegraded, wire.OutcomeFailed:
+		if resp.Memory != p.Memory {
+			r.add(KindEvidence, -1, -1, "response memory %d, request memory %d", resp.Memory, p.Memory)
+		}
+		if lb := LowerBound(p); resp.LowerBound != lb {
+			r.add(KindEvidence, -1, -1, "response lower bound %d, independent peak %d", resp.LowerBound, lb)
+		}
+	}
+	return r
+}

@@ -75,6 +75,15 @@ type Options struct {
 	// Deadline aborts the solve when the wall clock passes it (zero =
 	// none). Checked every few hundred nodes to stay cheap.
 	Deadline time.Time
+	// Timeout, when positive, is resolved against the wall clock when the
+	// solve *starts* — not when the Options value was built — mirroring the
+	// public WithTimeout contract, so an Options value constructed ahead of
+	// time (or reused across solves, as benchmarks do) grants the full
+	// budget every time instead of one that silently shrank since
+	// construction. It combines with Deadline by earliest-wins. Inside
+	// MinimizeMemory each feasibility probe resolves its own Timeout;
+	// callers that want one deadline across all probes set Deadline.
+	Timeout time.Duration
 	// Cancel, when non-nil, cooperatively aborts the solve with status
 	// Cancelled; polled on the same stride as Deadline. This is how
 	// context cancellation reaches the exact solver: wire ctx through
@@ -125,6 +134,12 @@ func Solve(p *buffers.Problem, ov *buffers.Overlaps, opts Options) Result {
 // query of §6.3 — "encode our problem as ILP and fix all pos variables that
 // correspond to blocks that have already been placed".
 func SolveWithFixed(p *buffers.Problem, ov *buffers.Overlaps, fixed []int64, opts Options) Result {
+	if opts.Timeout > 0 {
+		d := time.Now().Add(opts.Timeout)
+		if opts.Deadline.IsZero() || d.Before(opts.Deadline) {
+			opts.Deadline = d
+		}
+	}
 	m := cp.NewModel(p, ov)
 	s := &searcher{m: m, opts: opts}
 	s.pairSize = make([]int64, m.NumPairs())

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"telamalloc/internal/buffers"
 )
@@ -266,4 +267,63 @@ func bruteForceFeasible(p *buffers.Problem) bool {
 		return false
 	}
 	return try(0)
+}
+
+// hardInstance is small enough to validate but hard enough that a
+// microsecond-scale budget expires mid-search: many same-size buffers
+// fighting over a near-peak limit.
+func hardInstance() *buffers.Problem {
+	p := &buffers.Problem{Memory: 64}
+	for i := 0; i < 12; i++ {
+		p.Buffers = append(p.Buffers, buffers.Buffer{Start: 0, End: 8, Size: 5})
+	}
+	p.Normalize()
+	return p
+}
+
+// TestTimeoutResolvedAtSolveStart: an Options value with a Timeout must be
+// reusable — the clock starts at each Solve call, not when the struct was
+// built. The regression this pins: benchmarks (and any caller holding an
+// Options value) used to bake a Deadline at construction, so every solve
+// after the first ran with an already-spent budget.
+func TestTimeoutResolvedAtSolveStart(t *testing.T) {
+	p := &buffers.Problem{Buffers: []buffers.Buffer{{Start: 0, End: 4, Size: 8}}, Memory: 8}
+	p.Normalize()
+	opts := Options{Timeout: 50 * time.Millisecond}
+	// Sleep longer than the timeout between building the options and
+	// solving. With construction-time resolution this solve would start
+	// expired; with start-time resolution it has its full budget.
+	time.Sleep(80 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if res := Solve(p, nil, opts); res.Status != Solved {
+			t.Fatalf("solve %d with a held Options value: status %v, want solved", i, res.Status)
+		}
+	}
+}
+
+// TestTimeoutExpires: a tiny Timeout on a hard instance must surface as
+// Budget, the same status an exhausted step pot reports.
+func TestTimeoutExpires(t *testing.T) {
+	res := Solve(hardInstance(), nil, Options{Timeout: time.Microsecond})
+	if res.Status != Budget {
+		t.Fatalf("status %v, want budget-exceeded", res.Status)
+	}
+}
+
+// TestTimeoutEarliestWinsWithDeadline: when both are set, the sooner bound
+// governs, whichever field it came from.
+func TestTimeoutEarliestWinsWithDeadline(t *testing.T) {
+	p := hardInstance()
+	// Timeout sooner than Deadline: the microsecond pot must lose the race
+	// long before the generous deadline would.
+	res := Solve(p, nil, Options{Timeout: time.Microsecond, Deadline: time.Now().Add(time.Hour)})
+	if res.Status != Budget {
+		t.Fatalf("sooner timeout: status %v, want budget-exceeded", res.Status)
+	}
+	// Deadline sooner than Timeout: an already-expired deadline governs
+	// despite the generous timeout.
+	res = Solve(p, nil, Options{Timeout: time.Hour, Deadline: time.Now().Add(-time.Second)})
+	if res.Status != Budget {
+		t.Fatalf("sooner deadline: status %v, want budget-exceeded", res.Status)
+	}
 }

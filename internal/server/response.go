@@ -200,6 +200,15 @@ type canonicalResponse struct {
 	Err              string   `json:"error,omitempty"`
 }
 
+// ResponseFrom maps a pipeline result to the response the server would
+// serve for it, with no breaker bookkeeping (a direct run skips no stages).
+// It exists for differential harnesses: run the same problem through a bare
+// Allocator and through a served fleet, then compare CanonicalJSON
+// byte-for-byte.
+func ResponseFrom(res telamalloc.PipelineResult, perr error) *Response {
+	return responseFrom(res, perr, nil)
+}
+
 // CanonicalJSON serialises the scheduling-invariant part of the response.
 // For a fixed request against a fresh server, these bytes are identical
 // with hedging on and off, at every parallelism level — the determinism

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math/rand"
+
+	"telamalloc/internal/buffers"
+)
+
+// Adversarial families for the differential verification harness
+// (internal/check). Böhm et al. observe that heuristic/exact disagreement
+// on 2D packing concentrates in adversarial shapes that hand-written
+// fixtures never cover: packs at exactly the contention peak, extreme
+// aspect-ratio mixes, and alignment-hostile sizes where the usable address
+// set is much sparser than the byte count suggests. These generators
+// produce *small* instances of exactly those shapes — small enough that the
+// exact branch-and-bound oracle terminates, adversarial enough that the
+// heuristic ladder's solve rate actually separates from the oracle's.
+//
+// Every generator is deterministic per seed and returns a Validate-clean
+// problem; feasibility is deliberately NOT guaranteed, because the harness
+// needs both feasible and infeasible instances to test the "never claim
+// Solved on an ILP-proven-infeasible problem" invariant.
+
+// NearCapacityPack builds n mutually overlapping buffers whose memory limit
+// is *exactly* the contention peak: every packing must be perfectly tight
+// somewhere, the regime where greedy skyline placement strands capacity.
+func NearCapacityPack(n int, seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "near-capacity"}
+	span := int64(8)
+	for i := 0; i < n; i++ {
+		start := rng.Int63n(span / 2)
+		end := start + 1 + rng.Int63n(span-start)
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: start,
+			End:   end,
+			Size:  1 + rng.Int63n(64),
+		})
+	}
+	p.Normalize()
+	p.Memory = buffers.Contention(p).Peak()
+	return p
+}
+
+// SkinnyFatMix interleaves long-skinny buffers (live across the whole
+// horizon, small) with short-fat ones (brief, huge). The skinny buffers
+// fragment the address space for every fat one that arrives later — the
+// classic worst case for best-fit — with memory at the contention peak
+// plus a sliver of slack.
+func SkinnyFatMix(n int, seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "skinny-fat"}
+	horizon := int64(12)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			// Long and skinny: nearly the whole horizon, tiny size.
+			start := rng.Int63n(2)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start,
+				End:   horizon - rng.Int63n(2),
+				Size:  1 + rng.Int63n(8),
+			})
+		} else {
+			// Short and fat: one or two slots, an order of magnitude bigger.
+			start := rng.Int63n(horizon - 2)
+			p.Buffers = append(p.Buffers, buffers.Buffer{
+				Start: start,
+				End:   start + 1 + rng.Int63n(2),
+				Size:  32 + rng.Int63n(96),
+			})
+		}
+	}
+	p.Normalize()
+	peak := buffers.Contention(p).Peak()
+	p.Memory = peak + rng.Int63n(4)
+	return p
+}
+
+// AlignmentHostile builds buffers whose sizes sit just off their alignment
+// multiples (align-1, align+1, ...), so the gap between "bytes that fit"
+// and "aligned addresses that exist" is maximal. Memory is the peak plus
+// slack smaller than one alignment unit: whether an instance is feasible
+// depends entirely on how placements interact with alignment waste, which
+// is what the checker's alignment sweep and the oracle must agree on.
+func AlignmentHostile(n int, seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "alignment-hostile"}
+	aligns := []int64{4, 8, 16}
+	span := int64(6)
+	for i := 0; i < n; i++ {
+		a := aligns[rng.Intn(len(aligns))]
+		size := a - 1 + rng.Int63n(3) // a-1, a, or a+1
+		start := rng.Int63n(span - 1)
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: start,
+			End:   start + 1 + rng.Int63n(span-start),
+			Size:  size,
+			Align: a,
+		})
+	}
+	p.Normalize()
+	peak := buffers.Contention(p).Peak()
+	p.Memory = peak + rng.Int63n(aligns[len(aligns)-1])
+	return p
+}
+
+// AlignTrap builds the minimal family that is infeasible *above* the
+// contention peak: k fully-overlapping buffers that each demand an align-A
+// address, with memory sized so only k-1 (sometimes k) aligned slots exist.
+// The lower-bound check (peak <= memory) passes, so nothing short of real
+// search — or the exact oracle — can tell the feasible seeds from the
+// infeasible ones. Heuristics must fail here without ever claiming Solved
+// on a seed the oracle proves infeasible.
+func AlignTrap(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &buffers.Problem{Name: "align-trap"}
+	align := int64(8) << rng.Int63n(3)        // 8, 16, or 32
+	k := 2 + rng.Intn(4)                      // 2..5 overlapping aligned buffers
+	size := align/2 + 1 + rng.Int63n(align/2) // > align/2, so one slot per buffer
+	for i := 0; i < k; i++ {
+		p.Buffers = append(p.Buffers, buffers.Buffer{
+			Start: 0,
+			End:   4,
+			Size:  size,
+			Align: align,
+		})
+	}
+	// slots in {k-1, k}: with size <= align, the usable aligned addresses
+	// are exactly 0, align, ..., (slots-1)*align, so k buffers into k-1
+	// slots is infeasible by pigeonhole while k slots is tightly feasible.
+	slots := int64(k-1) + rng.Int63n(2)
+	p.Memory = (slots-1)*align + size
+	if p.Memory < align {
+		// One-slot instances must still pass Validate's align <= memory
+		// structural check; a single aligned slot at 0 remains the only
+		// usable address either way.
+		p.Memory = align
+	}
+	p.Normalize()
+	return p
+}
+
+// TinyModelGraph lowers a one-to-two-layer transformer-style block (§6-style
+// model graph: Q/K/V fan-out, an oversized score tensor, residual skips) to
+// an allocation problem at 100-110% of its contention peak. It is the
+// smallest instance that still has the dense overlap structure of the real
+// model proxies, sized so the exact oracle terminates.
+func TinyModelGraph(seed int64) *buffers.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	layers := 1 + rng.Intn(2)
+	hidden := int64(4 + rng.Int63n(8))
+	in := g.Op()
+	act := g.Out(in, hidden, 0)
+	for l := 0; l < layers; l++ {
+		var qkv [3]TensorID
+		for i := range qkv {
+			op := g.Op()
+			g.Use(act, op)
+			qkv[i] = g.Out(op, hidden, 4)
+		}
+		scoreOp := g.Op()
+		g.Use(qkv[0], scoreOp)
+		g.Use(qkv[1], scoreOp)
+		score := g.Out(scoreOp, hidden*4, 4)
+		ctxOp := g.Op()
+		g.Use(score, ctxOp)
+		g.Use(qkv[2], ctxOp)
+		ctx := g.Out(ctxOp, hidden, 0)
+		add := g.Op()
+		g.Use(ctx, add)
+		g.Use(act, add) // residual skip keeps the layer input live throughout
+		act = g.Out(add, hidden, 0)
+	}
+	p := g.Problem("tiny-model-graph")
+	peak := buffers.Contention(p).Peak()
+	p.Memory = peak * (100 + rng.Int63n(11)) / 100
+	return p
+}

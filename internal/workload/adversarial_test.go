@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"telamalloc/internal/buffers"
+)
+
+// The adversarial families feed the differential oracle harness, so they
+// must be structurally valid (the harness measures solver disagreement, not
+// input-validation behaviour), deterministic per seed (scorecards must be
+// reproducible), and small enough for the exact oracle.
+
+func adversarialInstances(seed int64) map[string]*buffers.Problem {
+	return map[string]*buffers.Problem{
+		"near-capacity":     NearCapacityPack(8, seed),
+		"skinny-fat":        SkinnyFatMix(8, seed),
+		"alignment-hostile": AlignmentHostile(8, seed),
+		"align-trap":        AlignTrap(seed),
+		"tiny-model-graph":  TinyModelGraph(seed),
+	}
+}
+
+func TestAdversarialGeneratorsValidate(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		for name, p := range adversarialInstances(seed) {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s seed %d: invalid problem: %v", name, seed, err)
+			}
+			if len(p.Buffers) == 0 {
+				t.Errorf("%s seed %d: empty problem", name, seed)
+			}
+			if len(p.Buffers) > 24 {
+				t.Errorf("%s seed %d: %d buffers — too large for the exact oracle",
+					name, seed, len(p.Buffers))
+			}
+		}
+	}
+}
+
+func TestAdversarialGeneratorsDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b := adversarialInstances(seed), adversarialInstances(seed)
+		for name := range a {
+			if !reflect.DeepEqual(a[name], b[name]) {
+				t.Errorf("%s seed %d: two generations differ", name, seed)
+			}
+		}
+	}
+}
+
+// TestAdversarialFamiliesAreTight asserts the families actually sit in the
+// adversarial regime: memory within a sliver of the contention peak (never
+// below it minus zero — NearCapacityPack is exactly at it), so the
+// instances are the near-capacity packs the differential harness needs
+// rather than trivially loose ones.
+func TestAdversarialFamiliesAreTight(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		if p := NearCapacityPack(8, seed); p.Memory != buffers.Contention(p).Peak() {
+			t.Errorf("near-capacity seed %d: memory %d != peak %d",
+				seed, p.Memory, buffers.Contention(p).Peak())
+		}
+		for _, p := range []*buffers.Problem{SkinnyFatMix(8, seed), TinyModelGraph(seed)} {
+			peak := buffers.Contention(p).Peak()
+			if p.Memory < peak || p.Memory > peak*115/100+4 {
+				t.Errorf("%s seed %d: memory %d not near peak %d", p.Name, seed, p.Memory, peak)
+			}
+		}
+	}
+}
+
+// TestAlignTrapHasInfeasibleSeeds proves the family contains instances that
+// are infeasible *despite* memory at or above the contention peak — the
+// cases only the exact oracle (or real search) can classify, which is the
+// whole point of the differential harness.
+func TestAlignTrapHasInfeasibleSeeds(t *testing.T) {
+	abovePeak := false
+	for seed := int64(1); seed <= 40; seed++ {
+		p := AlignTrap(seed)
+		peak := buffers.Contention(p).Peak()
+		align := p.Buffers[0].Align
+		size := p.Buffers[0].Size
+		slots := (p.Memory-size)/align + 1
+		if int(slots) < len(p.Buffers) && p.Memory >= peak {
+			abovePeak = true
+		}
+	}
+	if !abovePeak {
+		t.Error("no seed in 1..40 produced an above-peak infeasible trap")
+	}
+}

@@ -200,11 +200,10 @@ func SolveExact(p Problem, maxSteps int64, timeout time.Duration) (Solution, err
 	if err := q.Validate(); err != nil {
 		return Solution{}, fmt.Errorf("%w: %v", ErrInvalidProblem, err)
 	}
-	opts := ilp.Options{MaxSteps: maxSteps}
-	if timeout > 0 {
-		opts.Deadline = time.Now().Add(timeout)
-	}
-	res := ilp.Solve(q, nil, opts)
+	// Timeout, not Deadline: the ILP layer resolves it when the solve
+	// starts, so there is no skew between building the options and the
+	// search's first node.
+	res := ilp.Solve(q, nil, ilp.Options{MaxSteps: maxSteps, Timeout: timeout})
 	switch res.Status {
 	case ilp.Solved:
 		return Solution{Offsets: res.Solution.Offsets}, nil
